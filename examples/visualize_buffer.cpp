@@ -1,0 +1,76 @@
+// Visualize what condensation learns: run a short DECO stream, then dump the
+// synthetic buffer images (and, for contrast, one real example per class) as
+// PPM files — the standard qualitative artifact of dataset-condensation
+// papers. Open the files with any image viewer:
+//
+//   ./build/examples/visualize_buffer /tmp/deco_buffer
+//   feh /tmp/deco_buffer   # or: convert class0_slot0.ppm out.png
+#include <cstdio>
+#include <string>
+
+#include "deco/core/learner.h"
+#include "deco/data/stream.h"
+#include "deco/data/world.h"
+#include "deco/eval/metrics.h"
+#include "deco/tensor/serialize.h"
+
+using namespace deco;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "/tmp/deco_buffer";
+
+  data::ProceduralImageWorld world(data::icub1_spec(), 31);
+  data::Dataset labeled = world.make_labeled_set(6, 1);
+  data::Dataset test = world.make_test_set(25, 2);
+
+  nn::ConvNetConfig mc;
+  mc.in_channels = 3;
+  mc.image_h = mc.image_w = 16;
+  mc.num_classes = 10;
+  mc.width = 32;
+  mc.depth = 3;
+  Rng rng(1);
+  nn::ConvNet model(mc, rng);
+  std::vector<int64_t> all(static_cast<size_t>(labeled.size()));
+  for (int64_t i = 0; i < labeled.size(); ++i) all[static_cast<size_t>(i)] = i;
+  core::train_classifier(model, labeled.batch(all), labeled.labels(), 20,
+                         1e-3f, 5e-4f, 32, rng);
+
+  core::DecoConfig cfg;
+  cfg.ipc = 3;
+  cfg.beta = 4;
+  cfg.model_update_epochs = 8;
+  core::DecoLearner learner(model, cfg, 2);
+  learner.init_buffer_from(labeled);
+
+  data::StreamConfig sc;
+  sc.stc = 32;
+  sc.segment_size = 32;
+  sc.total_segments = 8;
+  data::TemporalStream stream(world, sc, 3);
+  data::Segment seg;
+  while (stream.next(seg)) learner.observe_segment(seg.images);
+
+  std::printf("accuracy after stream: %.1f%%\n", eval::accuracy(model, test));
+
+  // Real reference frame + all synthetic slots, per class.
+  auto& buf = learner.buffer();
+  int written = 0;
+  for (int64_t cls = 0; cls < 10; ++cls) {
+    write_ppm(out_dir + "/class" + std::to_string(cls) + "_real.ppm",
+              world.render(cls, 0, 0, 0));
+    ++written;
+    for (int64_t k = 0; k < buf.ipc(); ++k) {
+      const int64_t row = cls * buf.ipc() + k;
+      Tensor img = buf.gather({row}).reshaped({3, 16, 16});
+      write_ppm(out_dir + "/class" + std::to_string(cls) + "_syn" +
+                    std::to_string(k) + ".ppm",
+                img);
+      ++written;
+    }
+  }
+  std::printf("wrote %d PPM images to %s\n", written, out_dir.c_str());
+  std::printf("(class<k>_real.ppm = a real frame; class<k>_syn<j>.ppm = the "
+              "condensed buffer slots)\n");
+  return 0;
+}

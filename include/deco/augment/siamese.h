@@ -1,0 +1,74 @@
+// Differentiable siamese augmentation (the mechanism behind the DSA baseline
+// of Zhao & Bilen, ICML'21, compared against in Table II).
+//
+// DSA samples ONE augmentation per matching step and applies the *same*
+// sampled transform to both the real batch and the synthetic batch; gradients
+// must flow through the transform into the synthetic images. Every op here is
+// linear in the pixel values given its sampled parameters, so the backward
+// pass is the exact adjoint of the forward operator:
+//   * flip / integer shift: index permutation → adjoint permutes back;
+//   * scale / rotate: bilinear affine warp → adjoint scatters each output
+//     gradient to its 4 source pixels with the same bilinear weights;
+//   * brightness / saturation / contrast: affine recoloring → closed-form;
+//   * cutout: mask → adjoint masks the gradient.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deco/tensor/rng.h"
+#include "deco/tensor/tensor.h"
+
+namespace deco::augment {
+
+enum class OpKind : int {
+  kNone = 0,
+  kFlip,
+  kShift,
+  kScale,
+  kRotate,
+  kBrightness,
+  kSaturation,
+  kContrast,
+  kCutout,
+};
+
+/// Parameters of one sampled augmentation, shared siamese-style between the
+/// real and synthetic batches of a matching step.
+struct AugmentParams {
+  OpKind kind = OpKind::kNone;
+  bool flip = false;
+  int64_t shift_x = 0, shift_y = 0;
+  float scale = 1.0f;
+  float rotate = 0.0f;  // radians
+  float brightness = 0.0f;
+  float saturation = 1.0f;
+  float contrast = 1.0f;
+  int64_t cutout_x = 0, cutout_y = 0, cutout_size = 0;
+};
+
+class SiameseAugment {
+ public:
+  /// `strategy` is an underscore-separated op list, e.g.
+  /// "flip_shift_scale_rotate_color_cutout" ("color" expands to brightness,
+  /// saturation and contrast). Empty string disables augmentation.
+  explicit SiameseAugment(const std::string& strategy);
+
+  /// Samples one op (uniform over the strategy set) with random parameters.
+  AugmentParams sample(Rng& rng, int64_t height, int64_t width) const;
+
+  /// Applies the op to an NCHW batch.
+  Tensor forward(const Tensor& batch, const AugmentParams& p) const;
+
+  /// Adjoint: maps dL/d(output) to dL/d(input) for the same params.
+  Tensor backward(const Tensor& grad_output, const AugmentParams& p) const;
+
+  bool enabled() const { return !ops_.empty(); }
+  const std::vector<OpKind>& ops() const { return ops_; }
+
+ private:
+  std::vector<OpKind> ops_;
+};
+
+}  // namespace deco::augment

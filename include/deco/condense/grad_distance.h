@@ -1,0 +1,30 @@
+// Gradient-matching distance D(g_syn, g_real) and its analytic derivative
+// with respect to g_syn.
+//
+// Following Zhao et al.'s gradient-matching formulation (which the paper
+// adopts with cosine similarity as the metric), each parameter tensor is
+// viewed as a matrix [out, rest] and the distance is the sum over output rows
+// of (1 − cosine(a_row, b_row)). Summing per-row rather than flattening keeps
+// the per-neuron gradient directions meaningful.
+//
+// The derivative of d = 1 − a·b/(‖a‖‖b‖) w.r.t. a is
+//   ∂d/∂a = −b/(‖a‖‖b‖) + (a·b)·a/(‖a‖³‖b‖),
+// which Eq. (6) of the paper consumes as ∇_{g_syn} D. Rows where either
+// gradient is numerically zero are skipped (zero contribution and gradient).
+#pragma once
+
+#include "deco/condense/grad_utils.h"
+
+namespace deco::condense {
+
+struct GradDistanceResult {
+  float value = 0.0f;
+  GradVec d_syn;  ///< ∂D/∂g_syn, aligned with the input gradient vectors
+};
+
+GradDistanceResult gradient_distance(const GradVec& g_syn, const GradVec& g_real);
+
+/// Distance only (no derivative) — used by tests and diagnostics.
+float gradient_distance_value(const GradVec& g_syn, const GradVec& g_real);
+
+}  // namespace deco::condense

@@ -1,0 +1,202 @@
+// Pluggable condensation methods.
+//
+// Table II of the paper compares four ways of distilling a stream segment
+// into the synthetic buffer: DC (bilevel gradient matching), DSA (DC with
+// differentiable siamese augmentation), DM (distribution matching) and DECO
+// (one-step matching with finite differences). All four implement this
+// interface so the streaming harness and the timing benchmark can swap them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deco/augment/siamese.h"
+#include "deco/condense/buffer.h"
+#include "deco/condense/matcher.h"
+#include "deco/nn/convnet.h"
+#include "deco/tensor/rng.h"
+
+namespace deco::condense {
+
+/// Everything a condenser may use for one segment update. The real data has
+/// already been pseudo-labeled and majority-voting-filtered upstream.
+struct CondenseContext {
+  SyntheticBuffer* buffer = nullptr;
+  const Tensor* x_real = nullptr;               // [K, C, H, W]
+  const std::vector<int64_t>* y_real = nullptr; // pseudo-labels
+  const std::vector<float>* w_real = nullptr;   // confidence weights (Eq. 4)
+  const std::vector<int64_t>* active_classes = nullptr;
+  nn::ConvNet* deployed_model = nullptr;  // encoder for feature discrimination
+  Rng* rng = nullptr;
+};
+
+class Condenser {
+ public:
+  virtual ~Condenser() = default;
+  /// Updates the buffer's synthetic images from one segment of real data.
+  virtual void condense(const CondenseContext& ctx) = 0;
+  virtual std::string name() const = 0;
+};
+
+// ---- DECO (ours) -------------------------------------------------------------
+
+struct DecoCondenserConfig {
+  int64_t iterations = 10;     ///< L in Algorithm 1
+  /// opt_S learning rate, applied to RMS-normalized gradients (see
+  /// normalize_grad): the expected per-pixel step is ≈ lr_syn per iteration.
+  float lr_syn = 0.01f;
+  float momentum_syn = 0.5f;
+  float alpha = 0.1f;          ///< feature-discrimination weight (Eq. 9)
+  float tau = 0.07f;           ///< contrastive temperature (Eq. 8)
+  float fd_scale = 0.01f;      ///< ε numerator of the finite-difference rule
+  /// Cap on positives/negatives per anchor in the contrastive term; bounds
+  /// the encoder batch on large buffers.
+  int64_t contrastive_cap = 8;
+  bool feature_discrimination = true;  ///< ablation switch (Fig. 4b, α = 0)
+  /// One-step matching draws a FRESH random model every iteration (the
+  /// paper's empirical finding (2): many random models × one step beats one
+  /// model × many steps). false keeps a single fixed random model across all
+  /// L iterations — the ablation baseline.
+  bool rerandomize_each_iteration = true;
+  /// Normalize the matching gradient to unit RMS before the opt_S step. The
+  /// summed cosine distance's raw input gradients are large and vary by
+  /// orders of magnitude across random models; unnormalized steps saturate
+  /// pixels against the [0,1] clamp and *destroy* buffer information (see
+  /// DESIGN.md 4.a). RMS normalization makes lr_syn a per-pixel step size.
+  bool normalize_grad = true;
+  /// Learnable-soft-label extension: synthetic samples carry learned class
+  /// distributions, co-optimized with the pixels by the same one-step
+  /// matching rule (∇_q L is analytic; the finite-difference estimate of
+  /// ∇_q D costs no extra passes). Requires the buffer to have soft labels
+  /// enabled (DecoLearner does this automatically).
+  bool learn_soft_labels = false;
+  float lr_label = 0.01f;  ///< step size on RMS-normalized label-logit grads
+};
+
+class DecoCondenser : public Condenser {
+ public:
+  DecoCondenser(const nn::ConvNetConfig& model_config, DecoCondenserConfig config,
+                uint64_t seed);
+  void condense(const CondenseContext& ctx) override;
+  std::string name() const override { return "DECO"; }
+
+  /// Matching-loss trace of the last condense() call (diagnostics).
+  const std::vector<float>& last_distances() const { return last_distances_; }
+
+ private:
+  /// Computes the feature-discrimination input gradient into disc_scratch_
+  /// and returns its global norm (0 if no anchors had positive pairs).
+  float apply_feature_discrimination(const CondenseContext& ctx,
+                                     const std::vector<int64_t>& active_rows);
+
+  DecoCondenserConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::ConvNet> scratch_;  // the randomized θ̃
+  Tensor velocity_;                       // momentum state over buffer rows
+  Tensor velocity_labels_;                // momentum state over label logits
+  std::vector<float> last_distances_;
+  std::vector<int64_t> last_disc_rows_;   // rows touched by the last disc pass
+  Tensor disc_scratch_;                   // staged α-term gradient (Eq. 9)
+};
+
+// ---- DC / DSA (bilevel baselines) ---------------------------------------------
+
+struct BilevelConfig {
+  int64_t outer_loops = 2;     ///< random model re-draws (K)
+  int64_t inner_epochs = 10;   ///< matching+training epochs per draw (T)
+  int64_t model_steps = 4;     ///< model SGD steps on S per inner epoch (ζ_θ)
+  float lr_syn = 0.01f;        ///< on RMS-normalized gradients, as in DECO
+  float momentum_syn = 0.5f;
+  float lr_model = 0.01f;
+  float fd_scale = 0.01f;
+  std::string dsa_strategy;    ///< empty → DC; non-empty → DSA
+};
+
+class BilevelCondenser : public Condenser {
+ public:
+  BilevelCondenser(const nn::ConvNetConfig& model_config, BilevelConfig config,
+                   uint64_t seed);
+  void condense(const CondenseContext& ctx) override;
+  std::string name() const override {
+    return config_.dsa_strategy.empty() ? "DC" : "DSA";
+  }
+
+ private:
+  BilevelConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::ConvNet> scratch_;
+  augment::SiameseAugment aug_;
+  Tensor velocity_;
+};
+
+// ---- DM (distribution matching) ----------------------------------------------
+
+struct DmConfig {
+  /// DM's per-iteration cost is much lower than a one-step matching pass (no
+  /// parameter gradients, no finite-difference passes), and the method needs
+  /// more iterations for its weaker per-class mean signal to shape the
+  /// images. 25 iterations calibrates DM's per-segment budget to the paper's
+  /// relative execution time (Table II: DM ≈ 0.6× DECO's time).
+  int64_t iterations = 25;
+  float lr_syn = 0.01f;  ///< on RMS-normalized gradients, as in DECO
+  float momentum_syn = 0.5f;
+};
+
+class DmCondenser : public Condenser {
+ public:
+  DmCondenser(const nn::ConvNetConfig& model_config, DmConfig config,
+              uint64_t seed);
+  void condense(const CondenseContext& ctx) override;
+  std::string name() const override { return "DM"; }
+
+ private:
+  DmConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::ConvNet> scratch_;
+  Tensor velocity_;
+};
+
+// ---- MTT (trajectory matching, extension) -------------------------------------
+
+struct MttConfig {
+  int64_t iterations = 10;      ///< matching iterations per segment
+  int64_t expert_steps = 4;     ///< SGD steps defining the expert trajectory
+  float lr_model = 0.02f;       ///< inner SGD step for expert and student
+  float lr_syn = 0.01f;         ///< on RMS-normalized gradients
+  float momentum_syn = 0.5f;
+  float fd_scale = 0.01f;
+};
+
+/// One-step trajectory matching — an adaptation of "matching training
+/// trajectories" (Cazenavette et al., cited by the paper's related work) to
+/// the on-device setting, built on the same finite-difference machinery as
+/// DECO. Per iteration:
+///   1. From a random init th0, take `expert_steps` SGD steps on the REAL
+///      segment data -> expert parameters th*.
+///   2. One SGD step on the SYNTHETIC data from th0 -> student th_s(S).
+///   3. Minimize ||th_s(S) - th*||^2 w.r.t. S. Since th_s = th0 - lr*grad_th L(S),
+///      the gradient is -lr * d2L/dSdth * 2(th_s - th*) — a Hessian-vector
+///      product estimated with the same th +- eps*v central difference (Eq. 7).
+/// Not part of the paper's evaluation; shipped as the extension showing the
+/// framework "can be flexibly adapted to other condensation techniques".
+class MttCondenser : public Condenser {
+ public:
+  MttCondenser(const nn::ConvNetConfig& model_config, MttConfig config,
+               uint64_t seed);
+  void condense(const CondenseContext& ctx) override;
+  std::string name() const override { return "MTT"; }
+
+  /// Trajectory losses ||th_s - th*||^2 of the last condense() call.
+  const std::vector<float>& last_losses() const { return last_losses_; }
+
+ private:
+  MttConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::ConvNet> scratch_;
+  Tensor velocity_;
+  std::vector<float> last_losses_;
+};
+
+}  // namespace deco::condense

@@ -1,0 +1,107 @@
+// On-device learners: the common streaming interface plus the DECO learner
+// implementing Algorithm 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deco/condense/buffer.h"
+#include "deco/condense/method.h"
+#include "deco/core/pseudo_label.h"
+#include "deco/data/dataset.h"
+#include "deco/nn/convnet.h"
+
+namespace deco::core {
+
+/// What a learner did with one segment — consumed by evaluation harnesses
+/// (pseudo-label accuracy, retention rate, Fig. 4a).
+struct SegmentReport {
+  std::vector<int64_t> pseudo_labels;
+  std::vector<float> confidences;
+  std::vector<int64_t> retained;
+  int64_t active_class_count = 0;
+  float condense_distance = 0.0f;  ///< last gradient-matching distance (DECO)
+};
+
+/// Streaming learner interface shared by DECO and the replay baselines.
+class OnDeviceLearner {
+ public:
+  virtual ~OnDeviceLearner() = default;
+  /// Consumes one unlabeled segment (Algorithm 1 body for DECO).
+  virtual SegmentReport observe_segment(const Tensor& images) = 0;
+  virtual nn::ConvNet& model() = 0;
+  virtual std::string name() const = 0;
+  /// Cumulative wall-clock seconds spent inside buffer condensation/selection
+  /// (Table II's execution-time metric).
+  virtual double condense_seconds() const = 0;
+};
+
+/// Hyper-parameters of the DECO learner (paper Section IV-A3 defaults).
+struct DecoConfig {
+  int64_t ipc = 10;               ///< images per class in the buffer
+  float threshold_m = 0.4f;       ///< majority-voting filter threshold
+  int64_t beta = 10;              ///< model update interval, in segments
+  int64_t model_update_epochs = 30;  ///< epochs of opt_θ on S (paper: 200)
+  float lr_model = 1e-3f;
+  float weight_decay = 5e-4f;
+  int64_t train_batch = 32;
+  bool use_majority_voting = true;  ///< ablation switch
+  condense::DecoCondenserConfig condenser;
+};
+
+/// The DECO framework (Algorithm 1): pseudo-label → majority vote → condense
+/// into the synthetic buffer → periodically retrain the deployed model on S.
+/// A custom condenser (DC / DSA / DM) can be injected for the Table II
+/// comparison; by default the DECO one-step condenser is used.
+class DecoLearner : public OnDeviceLearner {
+ public:
+  DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed);
+  DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed,
+              std::unique_ptr<condense::Condenser> condenser);
+
+  /// Initializes the buffer from the labeled pre-training data (the paper
+  /// initializes it with offline-condensed labeled data; we warm-start from
+  /// real labeled samples, the standard condensation initialization, then the
+  /// stream refines them).
+  void init_buffer_from(const data::Dataset& labeled);
+
+  SegmentReport observe_segment(const Tensor& images) override;
+  nn::ConvNet& model() override { return model_; }
+  std::string name() const override;
+  double condense_seconds() const override { return condense_seconds_; }
+
+  condense::SyntheticBuffer& buffer() { return buffer_; }
+  const DecoConfig& config() const { return config_; }
+  int64_t segments_seen() const { return segments_seen_; }
+
+  /// Trains the deployed model on the current buffer (opt_θ(θ, S)); called
+  /// automatically every β segments, exposed for final-update use.
+  void update_model_now();
+
+ private:
+  nn::ConvNet& model_;
+  DecoConfig config_;
+  Rng rng_;
+  condense::SyntheticBuffer buffer_;
+  std::unique_ptr<condense::Condenser> condenser_;
+  int64_t segments_seen_ = 0;
+  double condense_seconds_ = 0.0;
+};
+
+/// Shared model-update routine: SGD-with-momentum training of `model` on an
+/// in-memory set of images/labels for `epochs` epochs. Used by DECO (training
+/// on S) and by the replay baselines (training on their real-sample buffers).
+void train_classifier(nn::ConvNet& model, const Tensor& images,
+                      const std::vector<int64_t>& labels, int64_t epochs,
+                      float lr, float weight_decay, int64_t batch_size,
+                      Rng& rng);
+
+/// Soft-target variant: trains on class distributions (the learnable-soft-
+/// label extension). `targets` is [N, num_classes].
+void train_classifier_soft(nn::ConvNet& model, const Tensor& images,
+                           const Tensor& targets, int64_t epochs, float lr,
+                           float weight_decay, int64_t batch_size, Rng& rng);
+
+}  // namespace deco::core

@@ -1,0 +1,37 @@
+// Majority-voting pseudo-label assignment (Section III-B, Eqs. 2–3).
+//
+// The deployed model assigns a pseudo-label and confidence to every sample of
+// the incoming segment; a sliding window (sized to the segment, as in the
+// paper) counts label frequencies, and classes whose frequency ratio exceeds
+// the threshold m are "active". Samples whose pseudo-label is not active are
+// discarded — temporal correlation makes minority labels within a window
+// likely mislabelings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deco/nn/convnet.h"
+#include "deco/tensor/tensor.h"
+
+namespace deco::core {
+
+struct PseudoLabelResult {
+  std::vector<int64_t> labels;          ///< ŷ_i for every sample in the segment
+  std::vector<float> confidences;       ///< p_θ(x_i)_{ŷ_i} — the Eq. 4 weights
+  std::vector<int64_t> active_classes;  ///< C_t^A (Eq. 2)
+  std::vector<int64_t> retained;        ///< indices of I_t^A within the segment
+};
+
+/// Labels a segment with `model` and applies majority voting with threshold
+/// `m` (m = 0 keeps every sample; the paper's default is m = 0.4, meaning a
+/// class must account for >40% of window predictions to be active).
+PseudoLabelResult pseudo_label_segment(nn::ConvNet& model, const Tensor& images,
+                                       float threshold_m);
+
+/// Voting only (for tests / threshold sweeps): given precomputed labels,
+/// returns the active classes under threshold m.
+std::vector<int64_t> majority_vote(const std::vector<int64_t>& labels,
+                                   int64_t num_classes, float threshold_m);
+
+}  // namespace deco::core

@@ -1,0 +1,70 @@
+// Evaluation metrics: accuracy, confusion matrices, aggregation over seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deco/data/dataset.h"
+#include "deco/nn/convnet.h"
+
+namespace deco::eval {
+
+/// Top-1 accuracy of `model` on `test`, evaluated in mini-batches.
+float accuracy(nn::ConvNet& model, const data::Dataset& test,
+               int64_t batch_size = 64);
+
+/// counts[true][pred] over the test set.
+std::vector<std::vector<int64_t>> confusion_matrix(nn::ConvNet& model,
+                                                   const data::Dataset& test,
+                                                   int64_t batch_size = 64);
+
+/// For each class: the `k` most frequent *wrong* predictions, as
+/// (class, fraction of that class's misclassifications) pairs, sorted
+/// descending. Reproduces the analysis behind the paper's Fig. 2.
+struct Misclassification {
+  int64_t predicted_class;
+  double fraction;
+};
+std::vector<std::vector<Misclassification>> top_misclassifications(
+    const std::vector<std::vector<int64_t>>& confusion, int64_t k);
+
+/// Per-class top-1 accuracy (percent), indexed by class id.
+std::vector<float> per_class_accuracy(nn::ConvNet& model,
+                                      const data::Dataset& test,
+                                      int64_t batch_size = 64);
+
+/// Catastrophic-forgetting meter (standard continual-learning definition):
+/// after recording per-class accuracy snapshots a_{t,c} over the stream,
+/// forgetting of class c is max_t a_{t,c} − a_{T,c} — how far the class fell
+/// from its own best. mean_forgetting averages over classes that were ever
+/// learned (peak accuracy > 0).
+class ForgettingTracker {
+ public:
+  /// Records one snapshot of per-class accuracies.
+  void record(const std::vector<float>& per_class);
+
+  /// Mean forgetting over classes at the latest snapshot; 0 if fewer than two
+  /// snapshots were recorded.
+  float mean_forgetting() const;
+
+  /// Per-class forgetting values at the latest snapshot.
+  std::vector<float> per_class_forgetting() const;
+
+  int64_t snapshots() const { return static_cast<int64_t>(history_.size()); }
+
+ private:
+  std::vector<std::vector<float>> history_;
+};
+
+/// Mean ± sample standard deviation over seeds.
+struct Aggregate {
+  float mean = 0.0f;
+  float stddev = 0.0f;
+};
+Aggregate aggregate(const std::vector<float>& values);
+
+/// Formats "12.34±0.56".
+std::string format_aggregate(const Aggregate& a, int precision = 2);
+
+}  // namespace deco::eval

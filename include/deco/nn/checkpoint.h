@@ -1,0 +1,24 @@
+// Model and buffer checkpointing.
+//
+// Persists every parameter of a Module (in collect_params order, with names
+// recorded for integrity checking) so a deployed model — or the condensed
+// synthetic buffer, which is the device's distilled memory — can survive
+// restarts.
+#pragma once
+
+#include <string>
+
+#include "deco/nn/module.h"
+
+namespace deco::nn {
+
+/// Saves all parameters of `model` to `path`. Format: one header with the
+/// parameter count, then (name, tensor) pairs in collect_params order.
+void save_checkpoint(const std::string& path, Module& model);
+
+/// Loads parameters saved by save_checkpoint into `model`. The module must
+/// expose the same parameter names/shapes in the same order; mismatches
+/// throw deco::Error rather than silently misloading.
+void load_checkpoint(const std::string& path, Module& model);
+
+}  // namespace deco::nn

@@ -1,0 +1,64 @@
+// The ConvNet backbone used for every experiment in the paper: D blocks of
+// [Conv3x3 → InstanceNorm → ReLU → AvgPool2x2] followed by a linear
+// classification head. The convolutional stack doubles as the encoder f_θ for
+// the feature-discrimination objective (Section III-D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "deco/nn/sequential.h"
+
+namespace deco::nn {
+
+/// Pooling flavor for the conv blocks (the DC literature uses average
+/// pooling; max pooling is provided for architecture ablations).
+enum class Pooling { kAvg, kMax };
+
+struct ConvNetConfig {
+  int64_t in_channels = 3;
+  int64_t image_h = 16;
+  int64_t image_w = 16;
+  int64_t num_classes = 10;
+  int64_t width = 32;   ///< channels per conv block (paper uses 128)
+  int64_t depth = 3;    ///< number of conv blocks
+  Pooling pooling = Pooling::kAvg;
+};
+
+/// ConvNet = encoder (conv blocks + flatten) + linear head. The split lets
+/// callers backpropagate either from logits (classification losses) or from
+/// the embedding (contrastive feature-discrimination loss).
+class ConvNet : public Module {
+ public:
+  ConvNet(const ConvNetConfig& config, Rng& rng);
+
+  /// Full forward: logits [N, num_classes].
+  Tensor forward(const Tensor& input) override;
+  /// Full backward from dL/dlogits; returns dL/dinput.
+  Tensor backward(const Tensor& grad_logits) override;
+
+  /// Encoder-only forward: embedding [N, feature_dim].
+  Tensor embed(const Tensor& input);
+  /// Encoder-only backward from dL/dembedding; returns dL/dinput.
+  /// Must follow a matching embed() (or forward(), which also runs the encoder).
+  Tensor backward_from_embedding(const Tensor& grad_embedding);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+  void reinitialize(Rng& rng) override;
+  std::string name() const override { return "ConvNet"; }
+
+  int64_t feature_dim() const { return feature_dim_; }
+  const ConvNetConfig& config() const { return config_; }
+
+ private:
+  ConvNetConfig config_;
+  Sequential encoder_;
+  std::unique_ptr<Module> head_;
+  int64_t feature_dim_ = 0;
+};
+
+/// Deep copy: constructs a new ConvNet with the same config and copies
+/// parameter values (activation caches are not copied).
+std::unique_ptr<ConvNet> clone_convnet(const ConvNet& src);
+
+}  // namespace deco::nn

@@ -1,0 +1,148 @@
+// Concrete layers for the ConvNet backbone used throughout the paper:
+// Conv2d, Linear, ReLU, AvgPool2d, InstanceNorm2d and Flatten.
+//
+// All image tensors are NCHW. Layers cache exactly what their backward pass
+// needs and reuse buffers across iterations to avoid per-step allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "deco/nn/module.h"
+#include "deco/tensor/ops.h"
+
+namespace deco::nn {
+
+/// 2-D convolution via im2col + GEMM. Weight layout: [out_ch, in_ch*kh*kw],
+/// bias: [out_ch].
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel, int64_t stride,
+         int64_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void reinitialize(Rng& rng) override;
+  std::string name() const override { return "Conv2d"; }
+
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+
+  Tensor weight_;       // [out_ch, in_ch*k*k]
+  Tensor bias_;         // [out_ch]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+
+  Conv2dGeometry geom_;  // of the last forward
+  Tensor cols_;          // im2col of last input
+  Tensor out_mat_;       // GEMM output scratch
+  Tensor grad_out_mat_;  // backward scratch
+  Tensor grad_cols_;     // backward scratch
+  int64_t last_batch_ = 0;
+};
+
+/// Fully connected layer. Weight: [out, in], bias: [out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void reinitialize(Rng& rng) override;
+  std::string name() const override { return "Linear"; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_;  // cached for backward
+};
+
+/// Elementwise rectifier.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Non-overlapping average pooling (kernel == stride).
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(int64_t kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  int64_t kernel_;
+  std::vector<int64_t> in_shape_;
+};
+
+/// Non-overlapping max pooling (kernel == stride). Gradient routes to the
+/// arg-max element of each window (ties: first in scan order).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int64_t kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_;
+  std::vector<int64_t> in_shape_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+};
+
+/// Instance normalization with learnable per-channel affine (γ, β), matching
+/// the ConvNet of the dataset-condensation literature. Normalizes each (n, c)
+/// plane to zero mean / unit variance.
+class InstanceNorm2d : public Module {
+ public:
+  explicit InstanceNorm2d(int64_t channels, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void reinitialize(Rng& rng) override;
+  std::string name() const override { return "InstanceNorm2d"; }
+
+ private:
+  int64_t channels_;
+  float eps_;
+  Tensor gamma_;       // [C]
+  Tensor beta_;        // [C]
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor xhat_;        // normalized input, cached
+  Tensor inv_std_;     // [N*C]
+  std::vector<int64_t> in_shape_;
+};
+
+/// Reshapes [N, C, H, W] to [N, C*H*W].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int64_t> in_shape_;
+};
+
+}  // namespace deco::nn

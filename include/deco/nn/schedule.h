@@ -1,0 +1,36 @@
+// Learning-rate schedules for the long model-update phases (the paper trains
+// 200 epochs on the condensed dataset per update; decaying the rate over that
+// window stabilizes the final accuracy readout).
+#pragma once
+
+#include <cstdint>
+
+namespace deco::nn {
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total_steps`.
+class CosineSchedule {
+ public:
+  CosineSchedule(float base_lr, int64_t total_steps, float min_lr = 0.0f);
+
+  /// Learning rate at `step` (clamped to [0, total_steps]).
+  float at(int64_t step) const;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  int64_t total_steps_;
+};
+
+/// Step decay: lr = base_lr · gamma^(step / step_size).
+class StepSchedule {
+ public:
+  StepSchedule(float base_lr, int64_t step_size, float gamma = 0.1f);
+  float at(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+}  // namespace deco::nn

@@ -1,0 +1,32 @@
+// Ordered container of modules executed front-to-back on forward and
+// back-to-front on backward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "deco/nn/module.h"
+
+namespace deco::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for chaining.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void reinitialize(Rng& rng) override;
+  std::string name() const override { return "Sequential"; }
+
+  size_t size() const { return layers_.size(); }
+  Module& layer(size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace deco::nn

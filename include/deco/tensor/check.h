@@ -1,0 +1,37 @@
+// Error-checking macro used across the library.
+//
+// DECO_CHECK(cond, msg) throws deco::Error (derived from std::runtime_error)
+// when `cond` is false. Checks guard API boundaries (shape agreement, config
+// validity); they are cheap relative to the numeric kernels they protect and
+// are therefore always enabled.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deco {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DECO_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace deco
+
+#define DECO_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::deco::detail::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)

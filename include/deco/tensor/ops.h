@@ -1,0 +1,94 @@
+// Free-function numeric kernels on Tensor.
+//
+// Kernels come in two flavors: value-returning convenience forms and
+// `*_into` forms that write into a caller-provided output tensor (resizing it
+// if needed) so hot loops can run allocation-free after the first iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deco/tensor/tensor.h"
+
+namespace deco {
+
+// ---- GEMM -------------------------------------------------------------------
+// All matrices are row-major 2-D tensors.
+
+/// out = A[m,k] * B[k,n]
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// out = A[k,m]^T * B[k,n]  (i.e. out[m,n] = sum_k A[k,m]*B[k,n])
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// out = A[m,k] * B[n,k]^T  (i.e. out[m,n] = sum_k A[m,k]*B[n,k])
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// out[c, r] = in[r, c]
+void transpose2d_into(const Tensor& in, Tensor& out);
+Tensor transpose2d(const Tensor& in);
+
+// ---- im2col / col2im ---------------------------------------------------------
+// Images are NCHW. A kernel of size kh x kw with stride/padding maps image
+// (C, H, W) to a column matrix [C*kh*kw, OH*OW] per sample; the batched forms
+// below stack samples along the column axis: [C*kh*kw, N*OH*OW].
+
+struct Conv2dGeometry {
+  int64_t in_channels = 0;
+  int64_t in_h = 0;
+  int64_t in_w = 0;
+  int64_t kernel_h = 0;
+  int64_t kernel_w = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+
+  int64_t out_h() const { return (in_h + 2 * padding - kernel_h) / stride + 1; }
+  int64_t out_w() const { return (in_w + 2 * padding - kernel_w) / stride + 1; }
+  int64_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+};
+
+/// Expands NCHW `input` [N,C,H,W] to columns [C*kh*kw, N*OH*OW].
+void im2col_into(const Tensor& input, const Conv2dGeometry& g, Tensor& cols);
+/// Accumulates columns back into an NCHW gradient image (the adjoint of
+/// im2col). `grad_input` must already have shape [N,C,H,W]; it is zeroed.
+void col2im_into(const Tensor& cols, const Conv2dGeometry& g, Tensor& grad_input);
+
+// ---- row-wise softmax family --------------------------------------------------
+
+/// Numerically stable softmax along the last dimension of a 2-D tensor.
+void softmax_rows_into(const Tensor& logits, Tensor& probs);
+Tensor softmax_rows(const Tensor& logits);
+
+/// log(softmax) along rows; stable.
+void log_softmax_rows_into(const Tensor& logits, Tensor& out);
+
+/// Per-row argmax of a 2-D tensor.
+std::vector<int64_t> argmax_rows(const Tensor& t);
+
+/// Per-row maximum value of a 2-D tensor.
+std::vector<float> max_rows(const Tensor& t);
+
+// ---- misc ---------------------------------------------------------------------
+
+/// Cosine similarity of flattened tensors; returns 0 when either norm is ~0.
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// out = a - b (shapes must match).
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Copies `src` into `dst`, resizing `dst` to match.
+void copy_into(const Tensor& src, Tensor& dst);
+
+/// Extracts row `r` of a 2-D tensor as a 1-D tensor.
+Tensor row(const Tensor& t, int64_t r);
+
+/// Stacks equal-shaped tensors along a new leading axis.
+Tensor stack(const std::vector<Tensor>& items);
+
+/// Selects rows (leading-axis slices) of `t` by index into a new tensor.
+Tensor take(const Tensor& t, const std::vector<int64_t>& indices);
+
+}  // namespace deco

@@ -1,0 +1,33 @@
+// Binary tensor serialization and PPM image export.
+//
+// On-device deployments need to persist two things across power cycles: the
+// model parameters and the condensed buffer (which *is* the distilled
+// knowledge). The format is a deliberately simple little-endian container:
+//
+//   magic "DECOTNSR" | u32 version | u32 ndim | i64 dims[ndim] | f32 data[]
+//
+// PPM export renders CHW float images (clamped to [0,1]) as 8-bit P6 files —
+// the standard way condensation papers visualize synthetic images.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "deco/tensor/tensor.h"
+
+namespace deco {
+
+/// Writes one tensor to a binary stream. Throws deco::Error on I/O failure.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor written by write_tensor. Throws on malformed input.
+Tensor read_tensor(std::istream& is);
+
+/// Convenience file-path wrappers.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+/// Writes a [3, H, W] (or [1, H, W]) float image in [0, 1] as binary PPM/PGM.
+void write_ppm(const std::string& path, const Tensor& image_chw);
+
+}  // namespace deco

@@ -1,0 +1,304 @@
+#include "deco/augment/siamese.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "deco/tensor/check.h"
+
+namespace deco::augment {
+
+namespace {
+
+// Applies the 2x2 inverse-pose matrix around the image center:
+// src = M (p - c) + c. Used by both scale and rotate.
+struct Affine {
+  float m00, m01, m10, m11;
+};
+
+Affine affine_for(const AugmentParams& p) {
+  if (p.kind == OpKind::kScale) {
+    const float inv = 1.0f / p.scale;
+    return {inv, 0.0f, 0.0f, inv};
+  }
+  // Rotation by θ in the output maps back by R(-θ) in the input.
+  const float c = std::cos(p.rotate), s = std::sin(p.rotate);
+  return {c, s, -s, c};
+}
+
+}  // namespace
+
+SiameseAugment::SiameseAugment(const std::string& strategy) {
+  std::stringstream ss(strategy);
+  std::string tok;
+  while (std::getline(ss, tok, '_')) {
+    if (tok == "flip") ops_.push_back(OpKind::kFlip);
+    else if (tok == "shift" || tok == "crop") ops_.push_back(OpKind::kShift);
+    else if (tok == "scale") ops_.push_back(OpKind::kScale);
+    else if (tok == "rotate") ops_.push_back(OpKind::kRotate);
+    else if (tok == "brightness") ops_.push_back(OpKind::kBrightness);
+    else if (tok == "saturation") ops_.push_back(OpKind::kSaturation);
+    else if (tok == "contrast") ops_.push_back(OpKind::kContrast);
+    else if (tok == "cutout") ops_.push_back(OpKind::kCutout);
+    else if (tok == "color") {
+      ops_.push_back(OpKind::kBrightness);
+      ops_.push_back(OpKind::kSaturation);
+      ops_.push_back(OpKind::kContrast);
+    } else if (!tok.empty()) {
+      DECO_CHECK(false, "SiameseAugment: unknown op '" + tok + "'");
+    }
+  }
+}
+
+AugmentParams SiameseAugment::sample(Rng& rng, int64_t height,
+                                     int64_t width) const {
+  AugmentParams p;
+  if (ops_.empty()) return p;
+  p.kind = ops_[static_cast<size_t>(rng.uniform_int(
+      static_cast<int64_t>(ops_.size())))];
+  switch (p.kind) {
+    case OpKind::kFlip:
+      p.flip = rng.bernoulli(0.5);
+      break;
+    case OpKind::kShift: {
+      const int64_t max_shift = std::max<int64_t>(1, width / 8);
+      p.shift_x = rng.uniform_int(2 * max_shift + 1) - max_shift;
+      p.shift_y = rng.uniform_int(2 * max_shift + 1) - max_shift;
+      break;
+    }
+    case OpKind::kScale:
+      p.scale = static_cast<float>(rng.uniform(0.8, 1.2));
+      break;
+    case OpKind::kRotate:
+      p.rotate = static_cast<float>(rng.uniform(-0.26, 0.26));  // ±15°
+      break;
+    case OpKind::kBrightness:
+      p.brightness = static_cast<float>(rng.uniform(-0.25, 0.25));
+      break;
+    case OpKind::kSaturation:
+      p.saturation = static_cast<float>(rng.uniform(0.3, 1.7));
+      break;
+    case OpKind::kContrast:
+      p.contrast = static_cast<float>(rng.uniform(0.5, 1.5));
+      break;
+    case OpKind::kCutout: {
+      p.cutout_size = std::max<int64_t>(1, height / 3);
+      p.cutout_x = rng.uniform_int(std::max<int64_t>(1, width - p.cutout_size + 1));
+      p.cutout_y = rng.uniform_int(std::max<int64_t>(1, height - p.cutout_size + 1));
+      break;
+    }
+    case OpKind::kNone:
+      break;
+  }
+  return p;
+}
+
+Tensor SiameseAugment::forward(const Tensor& batch,
+                               const AugmentParams& p) const {
+  DECO_CHECK(batch.ndim() == 4, "SiameseAugment: batch must be NCHW");
+  const int64_t N = batch.dim(0), C = batch.dim(1), H = batch.dim(2),
+                W = batch.dim(3);
+  const float* pi = batch.data();
+
+  switch (p.kind) {
+    case OpKind::kNone:
+      return batch;
+    case OpKind::kFlip: {
+      if (!p.flip) return batch;
+      Tensor out(batch.shape());
+      float* po = out.data();
+      for (int64_t nc = 0; nc < N * C; ++nc)
+        for (int64_t y = 0; y < H; ++y)
+          for (int64_t x = 0; x < W; ++x)
+            po[(nc * H + y) * W + x] = pi[(nc * H + y) * W + (W - 1 - x)];
+      return out;
+    }
+    case OpKind::kShift: {
+      Tensor out(batch.shape());
+      float* po = out.data();
+      for (int64_t nc = 0; nc < N * C; ++nc) {
+        for (int64_t y = 0; y < H; ++y) {
+          const int64_t sy = y - p.shift_y;
+          for (int64_t x = 0; x < W; ++x) {
+            const int64_t sx = x - p.shift_x;
+            po[(nc * H + y) * W + x] =
+                (sy >= 0 && sy < H && sx >= 0 && sx < W)
+                    ? pi[(nc * H + sy) * W + sx]
+                    : 0.0f;
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kScale:
+    case OpKind::kRotate: {
+      const Affine a = affine_for(p);
+      const float cy = (static_cast<float>(H) - 1.0f) / 2.0f;
+      const float cx = (static_cast<float>(W) - 1.0f) / 2.0f;
+      Tensor out(batch.shape());
+      float* po = out.data();
+      for (int64_t nc = 0; nc < N * C; ++nc) {
+        const float* img = pi + nc * H * W;
+        float* dst = po + nc * H * W;
+        for (int64_t y = 0; y < H; ++y) {
+          for (int64_t x = 0; x < W; ++x) {
+            const float dy = static_cast<float>(y) - cy;
+            const float dx = static_cast<float>(x) - cx;
+            const float sy = a.m10 * dx + a.m11 * dy + cy;
+            const float sx = a.m00 * dx + a.m01 * dy + cx;
+            const int64_t y0 = static_cast<int64_t>(std::floor(sy));
+            const int64_t x0 = static_cast<int64_t>(std::floor(sx));
+            const float fy = sy - static_cast<float>(y0);
+            const float fx = sx - static_cast<float>(x0);
+            float v = 0.0f;
+            for (int dyi = 0; dyi <= 1; ++dyi) {
+              for (int dxi = 0; dxi <= 1; ++dxi) {
+                const int64_t yy = y0 + dyi, xx = x0 + dxi;
+                if (yy < 0 || yy >= H || xx < 0 || xx >= W) continue;
+                const float wgt = (dyi ? fy : 1.0f - fy) * (dxi ? fx : 1.0f - fx);
+                v += wgt * img[yy * W + xx];
+              }
+            }
+            dst[y * W + x] = v;
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kBrightness: {
+      Tensor out = batch;
+      out.add_scalar_(p.brightness);
+      return out;
+    }
+    case OpKind::kSaturation: {
+      // y_c = s·x_c + (1−s)·mean_channels(x)
+      Tensor out(batch.shape());
+      float* po = out.data();
+      const int64_t plane = H * W;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* img = pi + n * C * plane;
+        float* dst = po + n * C * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+          float m = 0.0f;
+          for (int64_t c = 0; c < C; ++c) m += img[c * plane + i];
+          m /= static_cast<float>(C);
+          for (int64_t c = 0; c < C; ++c)
+            dst[c * plane + i] =
+                p.saturation * img[c * plane + i] + (1.0f - p.saturation) * m;
+        }
+      }
+      return out;
+    }
+    case OpKind::kContrast: {
+      // y = c·x + (1−c)·mean_image(x)
+      Tensor out(batch.shape());
+      float* po = out.data();
+      const int64_t per = C * H * W;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* img = pi + n * per;
+        float* dst = po + n * per;
+        double mu = 0.0;
+        for (int64_t i = 0; i < per; ++i) mu += img[i];
+        const float m = static_cast<float>(mu / per);
+        for (int64_t i = 0; i < per; ++i)
+          dst[i] = p.contrast * img[i] + (1.0f - p.contrast) * m;
+      }
+      return out;
+    }
+    case OpKind::kCutout: {
+      Tensor out = batch;
+      float* po = out.data();
+      for (int64_t nc = 0; nc < N * C; ++nc)
+        for (int64_t y = p.cutout_y;
+             y < std::min(H, p.cutout_y + p.cutout_size); ++y)
+          for (int64_t x = p.cutout_x;
+               x < std::min(W, p.cutout_x + p.cutout_size); ++x)
+            po[(nc * H + y) * W + x] = 0.0f;
+      return out;
+    }
+  }
+  return batch;
+}
+
+Tensor SiameseAugment::backward(const Tensor& grad_output,
+                                const AugmentParams& p) const {
+  DECO_CHECK(grad_output.ndim() == 4, "SiameseAugment: grad must be NCHW");
+  const int64_t N = grad_output.dim(0), C = grad_output.dim(1),
+                H = grad_output.dim(2), W = grad_output.dim(3);
+  const float* pg = grad_output.data();
+
+  switch (p.kind) {
+    case OpKind::kNone:
+      return grad_output;
+    case OpKind::kFlip: {
+      if (!p.flip) return grad_output;
+      AugmentParams q = p;  // flip is its own adjoint
+      return forward(grad_output, q);
+    }
+    case OpKind::kShift: {
+      // Adjoint of shift by (sx, sy) is shift by (−sx, −sy).
+      AugmentParams q = p;
+      q.shift_x = -p.shift_x;
+      q.shift_y = -p.shift_y;
+      return forward(grad_output, q);
+    }
+    case OpKind::kScale:
+    case OpKind::kRotate: {
+      // Scatter each output gradient into its 4 bilinear source pixels.
+      const Affine a = affine_for(p);
+      const float cy = (static_cast<float>(H) - 1.0f) / 2.0f;
+      const float cx = (static_cast<float>(W) - 1.0f) / 2.0f;
+      Tensor grad_in(grad_output.shape());
+      float* po = grad_in.data();
+      for (int64_t nc = 0; nc < N * C; ++nc) {
+        const float* src = pg + nc * H * W;
+        float* dst = po + nc * H * W;
+        for (int64_t y = 0; y < H; ++y) {
+          for (int64_t x = 0; x < W; ++x) {
+            const float g = src[y * W + x];
+            if (g == 0.0f) continue;
+            const float dy = static_cast<float>(y) - cy;
+            const float dx = static_cast<float>(x) - cx;
+            const float sy = a.m10 * dx + a.m11 * dy + cy;
+            const float sx = a.m00 * dx + a.m01 * dy + cx;
+            const int64_t y0 = static_cast<int64_t>(std::floor(sy));
+            const int64_t x0 = static_cast<int64_t>(std::floor(sx));
+            const float fy = sy - static_cast<float>(y0);
+            const float fx = sx - static_cast<float>(x0);
+            for (int dyi = 0; dyi <= 1; ++dyi) {
+              for (int dxi = 0; dxi <= 1; ++dxi) {
+                const int64_t yy = y0 + dyi, xx = x0 + dxi;
+                if (yy < 0 || yy >= H || xx < 0 || xx >= W) continue;
+                const float wgt = (dyi ? fy : 1.0f - fy) * (dxi ? fx : 1.0f - fx);
+                dst[yy * W + xx] += wgt * g;
+              }
+            }
+          }
+        }
+      }
+      return grad_in;
+    }
+    case OpKind::kBrightness:
+      return grad_output;  // additive offset: identity adjoint
+    case OpKind::kSaturation: {
+      // Symmetric linear map: same formula applied to the gradient.
+      return forward(grad_output, p);
+    }
+    case OpKind::kContrast: {
+      return forward(grad_output, p);
+    }
+    case OpKind::kCutout: {
+      Tensor grad_in = grad_output;
+      float* po = grad_in.data();
+      for (int64_t nc = 0; nc < N * C; ++nc)
+        for (int64_t y = p.cutout_y;
+             y < std::min(H, p.cutout_y + p.cutout_size); ++y)
+          for (int64_t x = p.cutout_x;
+               x < std::min(W, p.cutout_x + p.cutout_size); ++x)
+            po[(nc * H + y) * W + x] = 0.0f;
+      return grad_in;
+    }
+  }
+  return grad_output;
+}
+
+}  // namespace deco::augment

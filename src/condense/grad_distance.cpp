@@ -1,0 +1,101 @@
+#include "deco/condense/grad_distance.h"
+
+#include <cmath>
+
+#include "deco/tensor/check.h"
+
+namespace deco::condense {
+
+namespace {
+constexpr double kNormFloor = 1e-6;
+
+// Rows of a parameter tensor for per-output cosine grouping: matrices use
+// dim0 as the output axis. 1-D parameters (biases, norm affines) are
+// EXCLUDED from the distance, following the reference gradient-matching
+// implementation (Zhao et al.'s distance_wb returns 0 for 1-D tensors):
+// their gradients are low-dimensional, often near-zero, and the cosine
+// derivative 1/‖a‖ blows up on them, destabilizing the matching signal.
+// Returns false when the tensor should be skipped.
+bool row_geometry(const Tensor& t, int64_t& rows, int64_t& cols) {
+  if (t.ndim() < 2) return false;
+  rows = t.dim(0);
+  cols = t.numel() / t.dim(0);
+  return true;
+}
+}  // namespace
+
+GradDistanceResult gradient_distance(const GradVec& g_syn, const GradVec& g_real) {
+  DECO_CHECK(g_syn.size() == g_real.size(),
+             "gradient_distance: layer count mismatch");
+  GradDistanceResult res;
+  res.d_syn.reserve(g_syn.size());
+  double total = 0.0;
+
+  for (size_t li = 0; li < g_syn.size(); ++li) {
+    const Tensor& a_t = g_syn[li];
+    const Tensor& b_t = g_real[li];
+    DECO_CHECK(a_t.numel() == b_t.numel(),
+               "gradient_distance: tensor size mismatch at layer " +
+                   std::to_string(li));
+    Tensor d(a_t.shape());
+    int64_t rows = 0, cols = 0;
+    if (!row_geometry(a_t, rows, cols)) {
+      res.d_syn.push_back(std::move(d));  // zero contribution and gradient
+      continue;
+    }
+    const float* a = a_t.data();
+    const float* b = b_t.data();
+    float* g = d.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* ar = a + r * cols;
+      const float* br = b + r * cols;
+      float* gr = g + r * cols;
+      double saa = 0.0, sbb = 0.0, sab = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        saa += static_cast<double>(ar[j]) * ar[j];
+        sbb += static_cast<double>(br[j]) * br[j];
+        sab += static_cast<double>(ar[j]) * br[j];
+      }
+      const double na = std::sqrt(saa), nb = std::sqrt(sbb);
+      if (na < kNormFloor || nb < kNormFloor) continue;  // degenerate row
+      total += 1.0 - sab / (na * nb);
+      // ∂/∂a of (1 − a·b/(‖a‖‖b‖)) = −b/(‖a‖‖b‖) + (a·b)·a/(‖a‖³‖b‖)
+      const double c1 = -1.0 / (na * nb);
+      const double c2 = sab / (na * na * na * nb);
+      for (int64_t j = 0; j < cols; ++j)
+        gr[j] = static_cast<float>(c1 * br[j] + c2 * ar[j]);
+    }
+    res.d_syn.push_back(std::move(d));
+  }
+  res.value = static_cast<float>(total);
+  return res;
+}
+
+float gradient_distance_value(const GradVec& g_syn, const GradVec& g_real) {
+  DECO_CHECK(g_syn.size() == g_real.size(),
+             "gradient_distance_value: layer count mismatch");
+  double total = 0.0;
+  for (size_t li = 0; li < g_syn.size(); ++li) {
+    int64_t rows = 0, cols = 0;
+    if (!row_geometry(g_syn[li], rows, cols)) continue;
+    const float* a = g_syn[li].data();
+    const float* b = g_real[li].data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* ar = a + r * cols;
+      const float* br = b + r * cols;
+      double saa = 0.0, sbb = 0.0, sab = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        saa += static_cast<double>(ar[j]) * ar[j];
+        sbb += static_cast<double>(br[j]) * br[j];
+        sab += static_cast<double>(ar[j]) * br[j];
+      }
+      const double na = std::sqrt(saa), nb = std::sqrt(sbb);
+      if (na < kNormFloor || nb < kNormFloor) continue;
+      total += 1.0 - sab / (na * nb);
+    }
+  }
+  return static_cast<float>(total);
+}
+
+}  // namespace deco::condense

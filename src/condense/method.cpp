@@ -1,0 +1,385 @@
+#include "deco/condense/method.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "deco/nn/loss.h"
+#include "deco/nn/optim.h"
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+
+namespace deco::condense {
+
+namespace {
+
+// Rescales a gradient tensor to unit root-mean-square so the optimizer's
+// learning rate is a per-pixel step size, independent of the wildly varying
+// raw magnitude of the cosine-distance gradient across random models.
+void rms_normalize(Tensor& grad) {
+  const float rms =
+      grad.norm() / std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
+  if (rms > 1e-12f) grad.scale_(1.0f / rms);
+}
+
+void ensure_velocity(Tensor& velocity, const SyntheticBuffer& buffer) {
+  if (velocity.numel() != buffer.images().numel())
+    velocity = Tensor(buffer.images().shape());
+}
+
+// Momentum-SGD update restricted to the given buffer rows, reading the
+// buffer's gradient tensor. Rows not listed keep both image and velocity.
+void sgd_rows(SyntheticBuffer& buffer, const std::vector<int64_t>& rows,
+              float lr, float momentum, Tensor& velocity) {
+  const int64_t per =
+      buffer.channels() * buffer.height() * buffer.width();
+  float* img = buffer.images().data();
+  float* vel = velocity.data();
+  const float* grd = buffer.grads().data();
+  for (int64_t r : rows) {
+    float* w = img + r * per;
+    float* v = vel + r * per;
+    const float* g = grd + r * per;
+    for (int64_t j = 0; j < per; ++j) {
+      v[j] = momentum * v[j] + g[j];
+      w[j] -= lr * v[j];
+    }
+  }
+}
+
+// Splits a real segment into per-class index lists under the pseudo-labels.
+std::vector<int64_t> real_indices_of_class(const std::vector<int64_t>& y_real,
+                                           int64_t cls) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < y_real.size(); ++i)
+    if (y_real[i] == cls) out.push_back(static_cast<int64_t>(i));
+  return out;
+}
+
+std::vector<float> take_weights(const std::vector<float>& w,
+                                const std::vector<int64_t>& idx) {
+  if (w.empty()) return {};
+  std::vector<float> out;
+  out.reserve(idx.size());
+  for (int64_t i : idx) out.push_back(w[static_cast<size_t>(i)]);
+  return out;
+}
+
+std::vector<int64_t> take_labels(const std::vector<int64_t>& y,
+                                 const std::vector<int64_t>& idx) {
+  std::vector<int64_t> out;
+  out.reserve(idx.size());
+  for (int64_t i : idx) out.push_back(y[static_cast<size_t>(i)]);
+  return out;
+}
+
+void validate_context(const CondenseContext& ctx) {
+  DECO_CHECK(ctx.buffer != nullptr, "CondenseContext: buffer missing");
+  DECO_CHECK(ctx.x_real != nullptr && ctx.y_real != nullptr,
+             "CondenseContext: real data missing");
+  DECO_CHECK(ctx.active_classes != nullptr, "CondenseContext: actives missing");
+  DECO_CHECK(ctx.rng != nullptr, "CondenseContext: rng missing");
+  DECO_CHECK(ctx.x_real->dim(0) == static_cast<int64_t>(ctx.y_real->size()),
+             "CondenseContext: real label count mismatch");
+}
+
+}  // namespace
+
+// ---- DECO ---------------------------------------------------------------------
+
+DecoCondenser::DecoCondenser(const nn::ConvNetConfig& model_config,
+                             DecoCondenserConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  scratch_ = std::make_unique<nn::ConvNet>(model_config, rng_);
+}
+
+void DecoCondenser::condense(const CondenseContext& ctx) {
+  validate_context(ctx);
+  SyntheticBuffer& buf = *ctx.buffer;
+  ensure_velocity(velocity_, buf);
+  last_distances_.clear();
+
+  const std::vector<int64_t> active_rows =
+      buf.rows_of_classes(*ctx.active_classes);
+  if (active_rows.empty() || ctx.x_real->dim(0) == 0) return;
+  const std::vector<int64_t> y_syn = buf.gather_labels(active_rows);
+  const std::vector<float> w_real =
+      ctx.w_real != nullptr ? *ctx.w_real : std::vector<float>{};
+
+  GradientMatcher matcher(*scratch_, config_.fd_scale);
+
+  if (!config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
+  for (int64_t l = 0; l < config_.iterations; ++l) {
+    // Fresh random model each iteration — the one-step strategy replaces the
+    // bilevel inner loop with re-randomization (Section III-C).
+    if (config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
+
+    Tensor x_syn = buf.gather(active_rows);
+    const bool soft = config_.learn_soft_labels && buf.soft_labels_enabled();
+    MatchResult res;
+    if (soft) {
+      Tensor q_syn = buf.soft_targets(active_rows);
+      GradientMatcher::SoftResult sr =
+          matcher.match_soft(x_syn, q_syn, *ctx.x_real, *ctx.y_real, w_real);
+      res = std::move(sr.base);
+      if (config_.normalize_grad) rms_normalize(sr.grad_targets);
+      if (velocity_labels_.numel() != buf.label_logits().numel())
+        velocity_labels_ = Tensor(buf.label_logits().shape());
+      buf.label_grads().zero();
+      buf.scatter_add_label_grad_from_targets(active_rows, sr.grad_targets,
+                                              1.0f);
+      // Momentum SGD on the label logits of the active rows.
+      const int64_t C = buf.num_classes();
+      for (int64_t r : active_rows) {
+        for (int64_t c = 0; c < C; ++c) {
+          float& v = velocity_labels_[r * C + c];
+          v = config_.momentum_syn * v + buf.label_grads()[r * C + c];
+          buf.label_logits()[r * C + c] -= config_.lr_label * v;
+        }
+      }
+    } else {
+      res = matcher.match(x_syn, y_syn, *ctx.x_real, *ctx.y_real, w_real);
+    }
+    last_distances_.push_back(res.distance);
+    if (config_.normalize_grad) rms_normalize(res.grad_syn);
+    buf.grads().zero();
+    buf.scatter_add_grad(active_rows, res.grad_syn, 1.0f);
+
+    std::vector<int64_t> touched = active_rows;
+    if (config_.feature_discrimination && config_.alpha > 0.0f &&
+        ctx.deployed_model != nullptr && buf.ipc() > 1) {
+      const float disc_norm = apply_feature_discrimination(ctx, active_rows);
+      // Eq. (9) combines the two gradients with weight α. The raw scales of
+      // the two terms differ by orders of magnitude in this substrate (the
+      // summed per-row cosine distance produces much larger input gradients
+      // than the contrastive loss), so we equalize the norms before applying
+      // α — α then expresses the *relative* contribution of feature
+      // discrimination, as the paper's sweep (Fig. 4b) assumes. See
+      // DESIGN.md, "Key algorithmic decisions".
+      if (disc_norm > 1e-12f && disc_scratch_.numel() == buf.grads().numel()) {
+        const float match_norm = buf.grads().norm();
+        const float scale =
+            config_.alpha * (match_norm > 1e-12f ? match_norm / disc_norm : 1.0f);
+        buf.grads().add_scaled_(disc_scratch_, scale);
+      }
+      // Note `touched` stays equal to active_rows: the paper is explicit that
+      // only synthetic samples of the active classes are updated in a segment
+      // (Section III-B), so the contrastive pull on negative-class rows
+      // shapes the gradient of the anchors but does not move those rows.
+    }
+
+    sgd_rows(buf, touched, config_.lr_syn, config_.momentum_syn, velocity_);
+    buf.clamp_pixels();
+  }
+}
+
+float DecoCondenser::apply_feature_discrimination(
+    const CondenseContext& ctx, const std::vector<int64_t>& active_rows) {
+  SyntheticBuffer& buf = *ctx.buffer;
+  // Negative classes are drawn from the condenser's own generator, not the
+  // learner's: enabling/disabling feature discrimination must not perturb
+  // the random stream of the rest of the pipeline (keeps α sweeps paired).
+  Rng& rng = rng_;
+  const int64_t cap = std::max<int64_t>(2, config_.contrastive_cap);
+
+  // Anchors: active rows (capped per class). Negatives: one random other
+  // class per anchor, with up to `cap` of its rows embedded.
+  std::vector<int64_t> sel;           // buffer rows to embed
+  std::unordered_set<int64_t> seen;
+  auto push_row = [&](int64_t r) {
+    if (seen.insert(r).second) sel.push_back(r);
+  };
+
+  std::vector<int64_t> anchors_rows;
+  for (int64_t cls : *ctx.active_classes) {
+    auto rows = buf.rows_of_class(cls);
+    const int64_t take_n = std::min<int64_t>(cap, static_cast<int64_t>(rows.size()));
+    for (int64_t k = 0; k < take_n; ++k) {
+      anchors_rows.push_back(rows[static_cast<size_t>(k)]);
+      push_row(rows[static_cast<size_t>(k)]);
+    }
+  }
+
+  std::vector<int64_t> neg_class_of_anchor;
+  neg_class_of_anchor.reserve(anchors_rows.size());
+  for (int64_t r : anchors_rows) {
+    const int64_t yi = buf.label(r);
+    int64_t neg = rng.uniform_int(buf.num_classes());
+    while (neg == yi) neg = rng.uniform_int(buf.num_classes());
+    neg_class_of_anchor.push_back(neg);
+    auto rows = buf.rows_of_class(neg);
+    const int64_t take_n = std::min<int64_t>(cap, static_cast<int64_t>(rows.size()));
+    for (int64_t k = 0; k < take_n; ++k) push_row(rows[static_cast<size_t>(k)]);
+  }
+  if (anchors_rows.empty()) {
+    last_disc_rows_.clear();
+    return 0.0f;
+  }
+
+  // Local index mapping.
+  std::vector<int64_t> local_labels;
+  local_labels.reserve(sel.size());
+  for (int64_t r : sel) local_labels.push_back(buf.label(r));
+  std::vector<int64_t> anchor_local;
+  anchor_local.reserve(anchors_rows.size());
+  for (int64_t r : anchors_rows) {
+    const auto it = std::find(sel.begin(), sel.end(), r);
+    anchor_local.push_back(std::distance(sel.begin(), it));
+  }
+
+  Tensor x_sel = buf.gather(sel);
+  Tensor emb = ctx.deployed_model->embed(x_sel);
+  auto disc = nn::feature_discrimination_loss(emb, local_labels, anchor_local,
+                                              neg_class_of_anchor, config_.tau);
+  Tensor input_grads = ctx.deployed_model->backward_from_embedding(
+      disc.grad_embeddings);
+  ctx.deployed_model->zero_grad();  // discard parameter grads: S is the target
+
+  // Stage the discrimination gradient separately so the caller can equalize
+  // its scale against the matching gradient before weighting by α. Only
+  // ACTIVE rows receive gradient (Section III-B restricts updates to the
+  // active classes); the other embedded rows only shape the loss.
+  if (disc_scratch_.numel() != buf.grads().numel())
+    disc_scratch_ = Tensor(buf.grads().shape());
+  disc_scratch_.zero();
+  std::unordered_set<int64_t> active_set(active_rows.begin(), active_rows.end());
+  const int64_t per = buf.channels() * buf.height() * buf.width();
+  const float* src = input_grads.data();
+  float* dst = disc_scratch_.data();
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (active_set.find(sel[i]) == active_set.end()) continue;
+    std::copy(src + static_cast<int64_t>(i) * per,
+              src + static_cast<int64_t>(i + 1) * per, dst + sel[i] * per);
+  }
+  last_disc_rows_ = std::move(sel);
+  return disc_scratch_.norm();
+}
+
+// ---- DC / DSA -------------------------------------------------------------------
+
+BilevelCondenser::BilevelCondenser(const nn::ConvNetConfig& model_config,
+                                   BilevelConfig config, uint64_t seed)
+    : config_(config), rng_(seed), aug_(config.dsa_strategy) {
+  scratch_ = std::make_unique<nn::ConvNet>(model_config, rng_);
+}
+
+void BilevelCondenser::condense(const CondenseContext& ctx) {
+  validate_context(ctx);
+  SyntheticBuffer& buf = *ctx.buffer;
+  ensure_velocity(velocity_, buf);
+  if (ctx.active_classes->empty() || ctx.x_real->dim(0) == 0) return;
+
+  const std::vector<float> w_real =
+      ctx.w_real != nullptr ? *ctx.w_real : std::vector<float>{};
+  GradientMatcher matcher(*scratch_, config_.fd_scale);
+
+  for (int64_t k = 0; k < config_.outer_loops; ++k) {
+    scratch_->reinitialize(rng_);
+    nn::SgdMomentum opt_model(*scratch_, config_.lr_model, 0.9f, 5e-4f);
+
+    for (int64_t t = 0; t < config_.inner_epochs; ++t) {
+      // Per-class matching, as in the original DC/DSA algorithms.
+      for (int64_t cls : *ctx.active_classes) {
+        const std::vector<int64_t> real_idx =
+            real_indices_of_class(*ctx.y_real, cls);
+        if (real_idx.empty()) continue;
+        const std::vector<int64_t> rows = buf.rows_of_class(cls);
+        Tensor x_syn = buf.gather(rows);
+        const std::vector<int64_t> y_syn = buf.gather_labels(rows);
+        Tensor x_real_c = take(*ctx.x_real, real_idx);
+        const std::vector<int64_t> y_real_c = take_labels(*ctx.y_real, real_idx);
+        const std::vector<float> w_real_c = take_weights(w_real, real_idx);
+
+        MatchResult res =
+            aug_.enabled()
+                ? matcher.match_augmented(x_syn, y_syn, x_real_c, y_real_c,
+                                          w_real_c, aug_, rng_)
+                : matcher.match(x_syn, y_syn, x_real_c, y_real_c, w_real_c);
+        rms_normalize(res.grad_syn);
+        buf.grads().zero();
+        buf.scatter_add_grad(rows, res.grad_syn, 1.0f);
+        sgd_rows(buf, rows, config_.lr_syn, config_.momentum_syn, velocity_);
+        buf.clamp_pixels();
+      }
+
+      // Inner-loop model training on S — the bilevel step DECO removes.
+      for (int64_t s = 0; s < config_.model_steps; ++s) {
+        const int64_t batch_n = std::min<int64_t>(32, buf.size());
+        std::vector<int64_t> rows =
+            ctx.rng->sample_without_replacement(buf.size(), batch_n);
+        Tensor xb = buf.gather(rows);
+        if (aug_.enabled()) {
+          const auto p = aug_.sample(rng_, xb.dim(2), xb.dim(3));
+          xb = aug_.forward(xb, p);
+        }
+        const std::vector<int64_t> yb = buf.gather_labels(rows);
+        scratch_->zero_grad();
+        Tensor logits = scratch_->forward(xb);
+        auto ce = nn::weighted_cross_entropy(logits, yb);
+        scratch_->backward(ce.grad_logits);
+        opt_model.step();
+        scratch_->zero_grad();
+      }
+    }
+  }
+}
+
+// ---- DM ---------------------------------------------------------------------------
+
+DmCondenser::DmCondenser(const nn::ConvNetConfig& model_config, DmConfig config,
+                         uint64_t seed)
+    : config_(config), rng_(seed) {
+  scratch_ = std::make_unique<nn::ConvNet>(model_config, rng_);
+}
+
+void DmCondenser::condense(const CondenseContext& ctx) {
+  validate_context(ctx);
+  SyntheticBuffer& buf = *ctx.buffer;
+  ensure_velocity(velocity_, buf);
+  if (ctx.active_classes->empty() || ctx.x_real->dim(0) == 0) return;
+
+  for (int64_t l = 0; l < config_.iterations; ++l) {
+    scratch_->reinitialize(rng_);
+    for (int64_t cls : *ctx.active_classes) {
+      const std::vector<int64_t> real_idx =
+          real_indices_of_class(*ctx.y_real, cls);
+      if (real_idx.empty()) continue;
+
+      // Class-mean embedding of the real data under a random encoder.
+      Tensor x_real_c = take(*ctx.x_real, real_idx);
+      Tensor emb_real = scratch_->embed(x_real_c);
+      const int64_t d = emb_real.dim(1);
+      const int64_t n_real = emb_real.dim(0);
+      Tensor mean_real({d});
+      for (int64_t i = 0; i < n_real; ++i)
+        for (int64_t j = 0; j < d; ++j) mean_real[j] += emb_real.at2(i, j);
+      mean_real.scale_(1.0f / static_cast<float>(n_real));
+
+      const std::vector<int64_t> rows = buf.rows_of_class(cls);
+      Tensor x_syn = buf.gather(rows);
+      Tensor emb_syn = scratch_->embed(x_syn);
+      const int64_t n_syn = emb_syn.dim(0);
+      Tensor mean_syn({d});
+      for (int64_t i = 0; i < n_syn; ++i)
+        for (int64_t j = 0; j < d; ++j) mean_syn[j] += emb_syn.at2(i, j);
+      mean_syn.scale_(1.0f / static_cast<float>(n_syn));
+
+      // L = ‖mean_syn − mean_real‖²; dL/demb_syn[i] = 2·diff/n_syn.
+      Tensor diff = mean_syn - mean_real;
+      Tensor grad_emb({n_syn, d});
+      const float scale = 2.0f / static_cast<float>(n_syn);
+      for (int64_t i = 0; i < n_syn; ++i)
+        for (int64_t j = 0; j < d; ++j) grad_emb.at2(i, j) = scale * diff[j];
+
+      Tensor input_grads = scratch_->backward_from_embedding(grad_emb);
+      rms_normalize(input_grads);
+      scratch_->zero_grad();
+      buf.grads().zero();
+      buf.scatter_add_grad(rows, input_grads, 1.0f);
+      sgd_rows(buf, rows, config_.lr_syn, config_.momentum_syn, velocity_);
+      buf.clamp_pixels();
+    }
+  }
+}
+
+}  // namespace deco::condense

@@ -1,0 +1,71 @@
+#include "deco/data/stream.h"
+
+#include "deco/tensor/check.h"
+
+namespace deco::data {
+
+TemporalStream::TemporalStream(const ProceduralImageWorld& world,
+                               StreamConfig config, uint64_t seed)
+    : world_(world), config_(config), rng_(seed) {
+  DECO_CHECK(config_.stc >= 1, "stream: stc must be >= 1");
+  DECO_CHECK(config_.segment_size >= 1, "stream: segment_size must be >= 1");
+  DECO_CHECK(config_.total_segments >= 1, "stream: total_segments must be >= 1");
+}
+
+void TemporalStream::begin_run() {
+  const auto& spec = world_.spec();
+  // Pick a class different from the previous run so class transitions are
+  // real transitions (otherwise empirical STC would exceed the target).
+  int64_t next_class = rng_.uniform_int(spec.num_classes);
+  if (spec.num_classes > 1) {
+    while (next_class == run_class_) next_class = rng_.uniform_int(spec.num_classes);
+  }
+  run_class_ = next_class;
+  run_instance_ = rng_.uniform_int(spec.instances_per_class);
+  run_environment_ = rng_.uniform_int(spec.environments);
+  // Geometric-ish jitter around the target STC keeps run lengths varied while
+  // preserving the mean: uniform in [stc/2, 3·stc/2].
+  const int64_t lo = std::max<int64_t>(1, config_.stc / 2);
+  const int64_t hi = config_.stc + config_.stc / 2;
+  run_remaining_ = lo + rng_.uniform_int(hi - lo + 1);
+  run_frame_ = rng_.uniform_int(1000);  // random starting point in the "video"
+}
+
+bool TemporalStream::next(Segment& out) {
+  if (segments_emitted_ >= config_.total_segments) return false;
+  const auto& spec = world_.spec();
+  const int64_t S = config_.segment_size;
+  out.images = Tensor({S, spec.channels, spec.height, spec.width});
+  out.true_labels.assign(static_cast<size_t>(S), -1);
+
+  const int64_t per = spec.channels * spec.height * spec.width;
+  float* po = out.images.data();
+  for (int64_t i = 0; i < S; ++i) {
+    if (run_remaining_ <= 0) begin_run();
+    int64_t instance = run_instance_;
+    int64_t frame = run_frame_;
+    if (!config_.video_mode) {
+      // i.i.d.-within-class sampling (CIFAR / ImageNet proxy streams).
+      instance = rng_.uniform_int(spec.instances_per_class);
+      frame = rng_.uniform_int(100'000);
+    }
+    Tensor img = world_.render(run_class_, instance, run_environment_, frame);
+    std::copy(img.data(), img.data() + per, po + i * per);
+    out.true_labels[static_cast<size_t>(i)] = run_class_;
+    --run_remaining_;
+    ++run_frame_;
+    ++samples_emitted_;
+  }
+  ++segments_emitted_;
+  return true;
+}
+
+double TemporalStream::empirical_stc(const std::vector<int64_t>& labels) {
+  if (labels.empty()) return 0.0;
+  int64_t runs = 1;
+  for (size_t i = 1; i < labels.size(); ++i)
+    if (labels[i] != labels[i - 1]) ++runs;
+  return static_cast<double>(labels.size()) / static_cast<double>(runs);
+}
+
+}  // namespace deco::data

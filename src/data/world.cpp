@@ -1,0 +1,315 @@
+#include "deco/data/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deco/tensor/check.h"
+
+namespace deco::data {
+
+namespace {
+
+// Stable 64-bit mix of entity coordinates so every style / frame derives an
+// independent deterministic random stream.
+uint64_t mix(uint64_t a, uint64_t b) {
+  uint64_t x = a + 0x9E3779B97F4A7C15ull * (b + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void hsv_to_rgb(float h, float s, float v, float* rgb) {
+  h = h - std::floor(h);
+  const float c = v * s;
+  const float hp = h * 6.0f;
+  const float x = c * (1.0f - std::abs(std::fmod(hp, 2.0f) - 1.0f));
+  float r = 0, g = 0, b = 0;
+  switch (static_cast<int>(hp)) {
+    case 0: r = c; g = x; break;
+    case 1: r = x; g = c; break;
+    case 2: g = c; b = x; break;
+    case 3: g = x; b = c; break;
+    case 4: r = x; b = c; break;
+    default: r = c; b = x; break;
+  }
+  const float m = v - c;
+  rgb[0] = r + m;
+  rgb[1] = g + m;
+  rgb[2] = b + m;
+}
+
+float clamp01(float v) { return std::min(1.0f, std::max(0.0f, v)); }
+
+// Signed distance (negative inside) of point (x, y) for each shape family,
+// in object coordinates where the nominal object occupies roughly |p| < 1.
+float shape_sdf(int64_t family, float x, float y, float aspect) {
+  const float ax = x / std::max(0.2f, aspect);
+  const float ay = y * std::max(0.2f, aspect);
+  switch (family % 8) {
+    case 0:  // ellipse
+      return std::sqrt(ax * ax + ay * ay) - 1.0f;
+    case 1:  // rectangle
+      return std::max(std::abs(ax), std::abs(ay)) - 0.85f;
+    case 2:  // diamond
+      return std::abs(ax) + std::abs(ay) - 1.1f;
+    case 3: {  // ring
+      const float r = std::sqrt(ax * ax + ay * ay);
+      return std::abs(r - 0.75f) - 0.3f;
+    }
+    case 4: {  // cross
+      const float arm1 = std::max(std::abs(ax) - 1.0f, std::abs(ay) - 0.35f);
+      const float arm2 = std::max(std::abs(ay) - 1.0f, std::abs(ax) - 0.35f);
+      return std::min(arm1, arm2);
+    }
+    case 5: {  // triangle (downward)
+      const float e1 = ay - 0.9f;
+      const float e2 = -ay - 0.9f + 1.8f * std::abs(ax);
+      return std::max(e1, e2);
+    }
+    case 6: {  // two blobs
+      const float d1 = std::sqrt((ax - 0.45f) * (ax - 0.45f) + ay * ay) - 0.55f;
+      const float d2 = std::sqrt((ax + 0.45f) * (ax + 0.45f) + ay * ay) - 0.55f;
+      return std::min(d1, d2);
+    }
+    default: {  // capsule / bar
+      const float cy = std::max(0.0f, std::abs(ay) - 0.55f);
+      return std::sqrt(ax * ax + cy * cy) - 0.45f;
+    }
+  }
+}
+
+}  // namespace
+
+DatasetSpec icub1_spec() {
+  DatasetSpec s;
+  s.name = "icub1";
+  s.num_classes = 10;
+  s.height = s.width = 16;
+  s.instances_per_class = 4;  // iCub World films 4 objects per category
+  s.environments = 1;
+  s.similarity_group = 2;
+  s.within_group_similarity = 0.7f;
+  s.noise_sigma = 0.04f;
+  return s;
+}
+
+DatasetSpec core50_spec() {
+  DatasetSpec s;
+  s.name = "core50";
+  s.num_classes = 10;
+  s.height = s.width = 16;
+  s.instances_per_class = 5;  // CORe50: 5 objects per category
+  s.environments = 11;        // 11 recording sessions
+  s.similarity_group = 2;
+  s.within_group_similarity = 0.65f;
+  s.noise_sigma = 0.035f;
+  return s;
+}
+
+DatasetSpec cifar100_spec() {
+  DatasetSpec s;
+  s.name = "cifar100";
+  s.num_classes = 20;  // many-class proxy; see DESIGN.md for scaling rationale
+  s.height = s.width = 16;
+  s.instances_per_class = 8;
+  s.environments = 1;
+  s.similarity_group = 4;  // CIFAR-100's coarse superclasses group fine labels
+  s.within_group_similarity = 0.6f;
+  s.noise_sigma = 0.05f;
+  return s;
+}
+
+DatasetSpec imagenet10_spec() {
+  DatasetSpec s;
+  s.name = "imagenet10";
+  s.num_classes = 10;
+  s.height = s.width = 32;  // higher resolution than the other proxies
+  s.instances_per_class = 4;
+  s.environments = 3;
+  s.similarity_group = 2;
+  s.within_group_similarity = 0.6f;
+  s.noise_sigma = 0.03f;
+  return s;
+}
+
+DatasetSpec cifar10_spec() {
+  DatasetSpec s;
+  s.name = "cifar10";
+  s.num_classes = 10;
+  s.height = s.width = 16;
+  s.instances_per_class = 6;
+  s.environments = 1;
+  s.similarity_group = 2;  // cat/dog-style confusion pairs
+  s.within_group_similarity = 0.85f;
+  s.noise_sigma = 0.05f;
+  return s;
+}
+
+ProceduralImageWorld::ProceduralImageWorld(DatasetSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  DECO_CHECK(spec_.num_classes >= 2, "world: need at least two classes");
+  DECO_CHECK(spec_.channels == 3, "world: renderer produces RGB images");
+  DECO_CHECK(spec_.similarity_group >= 1, "world: similarity_group must be >= 1");
+}
+
+ProceduralImageWorld::ClassStyle ProceduralImageWorld::class_style(
+    int64_t cls) const {
+  DECO_CHECK(cls >= 0 && cls < spec_.num_classes, "class_style: class range");
+  const int64_t group = cls / spec_.similarity_group;
+  const int64_t variant = cls % spec_.similarity_group;
+
+  // Group-level parameters are shared by confusable classes.
+  Rng group_rng(mix(seed_, 0xC1A5500000ull + static_cast<uint64_t>(group)));
+  ClassStyle st;
+  st.shape_family = group;  // one shape family per group
+  const float base_hue = static_cast<float>(group_rng.uniform());
+  const float base_size = static_cast<float>(group_rng.uniform(0.55, 0.8));
+  const float base_aspect = static_cast<float>(group_rng.uniform(0.8, 1.25));
+  const float base_freq = static_cast<float>(group_rng.uniform(2.0, 5.0));
+  const float base_rot = static_cast<float>(group_rng.uniform(0.0, 3.1415926));
+
+  // Variant deltas shrink as within_group_similarity → 1.
+  const float spread = 1.0f - spec_.within_group_similarity;
+  Rng var_rng(mix(seed_, 0xBADC0DE00ull + static_cast<uint64_t>(cls)));
+  const float hue = base_hue + spread * 0.5f *
+                                   static_cast<float>(var_rng.uniform(-1.0, 1.0)) +
+                    0.08f * static_cast<float>(variant);
+  hsv_to_rgb(hue, 0.75f, 0.9f, st.fg_color);
+  hsv_to_rgb(hue + 0.35f + 0.15f * spread *
+                       static_cast<float>(var_rng.uniform(-1.0, 1.0)),
+             0.6f, 0.8f, st.fg2_color);
+  st.size = base_size * (1.0f + 0.35f * spread *
+                                    static_cast<float>(var_rng.uniform(-1.0, 1.0)));
+  st.aspect = base_aspect *
+              (1.0f + 0.4f * spread * static_cast<float>(var_rng.uniform(-1.0, 1.0)));
+  st.texture_freq =
+      base_freq + 2.0f * spread * static_cast<float>(var_rng.uniform(-1.0, 1.0));
+  st.base_rotation =
+      base_rot + 0.8f * spread * static_cast<float>(var_rng.uniform(-1.0, 1.0));
+  st.edge_softness = 0.12f;
+  return st;
+}
+
+ProceduralImageWorld::InstanceStyle ProceduralImageWorld::instance_style(
+    int64_t cls, int64_t instance) const {
+  Rng rng(mix(seed_, mix(0x1257A7CEull + static_cast<uint64_t>(cls),
+                         static_cast<uint64_t>(instance))));
+  InstanceStyle st;
+  st.scale_jitter = static_cast<float>(rng.uniform(0.85, 1.15));
+  st.rotation_offset = static_cast<float>(rng.uniform(-0.5, 0.5));
+  for (float& c : st.color_shift) c = static_cast<float>(rng.uniform(-0.08, 0.08));
+  st.center_x = static_cast<float>(rng.uniform(-0.18, 0.18));
+  st.center_y = static_cast<float>(rng.uniform(-0.18, 0.18));
+  return st;
+}
+
+ProceduralImageWorld::EnvironmentStyle ProceduralImageWorld::environment_style(
+    int64_t environment) const {
+  Rng rng(mix(seed_, 0xE47000ull + static_cast<uint64_t>(environment)));
+  EnvironmentStyle st;
+  const float hue = static_cast<float>(rng.uniform());
+  hsv_to_rgb(hue, 0.25f, static_cast<float>(rng.uniform(0.25, 0.55)), st.bg_color);
+  for (float& g : st.bg_grad) g = static_cast<float>(rng.uniform(-0.15, 0.15));
+  st.brightness = static_cast<float>(rng.uniform(0.75, 1.2));
+  st.grad_dir = static_cast<float>(rng.uniform(0.0, 6.2831853));
+  return st;
+}
+
+Tensor ProceduralImageWorld::render(int64_t cls, int64_t instance,
+                                    int64_t environment, int64_t frame) const {
+  DECO_CHECK(cls >= 0 && cls < spec_.num_classes, "render: class out of range");
+  DECO_CHECK(instance >= 0 && instance < spec_.instances_per_class,
+             "render: instance out of range");
+  DECO_CHECK(environment >= 0 && environment < spec_.environments,
+             "render: environment out of range");
+
+  const ClassStyle cs = class_style(cls);
+  const InstanceStyle is = instance_style(cls, instance);
+  const EnvironmentStyle es = environment_style(environment);
+
+  // Smooth temporal pose drift: consecutive frames look like video.
+  const float t = static_cast<float>(frame);
+  const float rot = cs.base_rotation + is.rotation_offset + 0.05f * t;
+  const float wob_x = is.center_x + 0.10f * std::sin(0.13f * t + is.rotation_offset);
+  const float wob_y = is.center_y + 0.10f * std::cos(0.11f * t);
+  const float scale =
+      cs.size * is.scale_jitter * (1.0f + 0.08f * std::sin(0.07f * t));
+  const float cr = std::cos(rot), sr = std::sin(rot);
+  const float gx = std::cos(es.grad_dir), gy = std::sin(es.grad_dir);
+
+  Rng noise_rng(mix(seed_, mix(mix(static_cast<uint64_t>(cls) + 11,
+                                   static_cast<uint64_t>(instance) + 13),
+                               mix(static_cast<uint64_t>(environment) + 17,
+                                   static_cast<uint64_t>(frame) + 0x7FFF0000ull))));
+
+  const int64_t H = spec_.height, W = spec_.width;
+  Tensor img({spec_.channels, H, W});
+  float* p = img.data();
+  const int64_t plane = H * W;
+
+  for (int64_t y = 0; y < H; ++y) {
+    const float ny = 2.0f * (static_cast<float>(y) + 0.5f) / H - 1.0f;
+    for (int64_t x = 0; x < W; ++x) {
+      const float nx = 2.0f * (static_cast<float>(x) + 0.5f) / W - 1.0f;
+
+      // Object coordinates: translate, rotate, scale.
+      const float dx = nx - wob_x, dy = ny - wob_y;
+      const float ox = (cr * dx + sr * dy) / scale;
+      const float oy = (-sr * dx + cr * dy) / scale;
+
+      const float sdf = shape_sdf(cs.shape_family, ox, oy, cs.aspect);
+      const float cover = clamp01(0.5f - sdf / cs.edge_softness);
+
+      // Texture: blend primary and secondary color by a stripe field.
+      const float tex =
+          0.5f + 0.5f * std::sin(cs.texture_freq * (ox + 0.6f * oy));
+      const float grad = gx * nx + gy * ny;
+
+      for (int64_t c = 0; c < 3; ++c) {
+        const float fg = cs.fg_color[c] * (1.0f - 0.45f * tex) +
+                         cs.fg2_color[c] * 0.45f * tex + is.color_shift[c];
+        const float bg = es.bg_color[c] + es.bg_grad[c] * grad;
+        float v = es.brightness * (bg + cover * (fg - bg));
+        v += spec_.noise_sigma * static_cast<float>(noise_rng.normal());
+        p[c * plane + y * W + x] = clamp01(v);
+      }
+    }
+  }
+  return img;
+}
+
+Dataset ProceduralImageWorld::make_labeled_set(int64_t frames_per_class,
+                                               uint64_t seed) const {
+  // Frame indices from a reserved range so the set is disjoint from streams
+  // (streams use small non-negative frame indices).
+  constexpr int64_t kLabeledFrameBase = 1'000'000;
+  Dataset ds(spec_.channels, spec_.height, spec_.width);
+  Rng rng(mix(seed_, mix(seed, 0x1ABE1EDull)));
+  for (int64_t cls = 0; cls < spec_.num_classes; ++cls) {
+    for (int64_t k = 0; k < frames_per_class; ++k) {
+      const int64_t inst = rng.uniform_int(spec_.instances_per_class);
+      const int64_t env = rng.uniform_int(spec_.environments);
+      const int64_t frame = kLabeledFrameBase + rng.uniform_int(100'000);
+      ds.add(render(cls, inst, env, frame), cls, inst, env);
+    }
+  }
+  return ds;
+}
+
+Dataset ProceduralImageWorld::make_test_set(int64_t frames_per_class,
+                                            uint64_t seed) const {
+  constexpr int64_t kTestFrameBase = 2'000'000;
+  Dataset ds(spec_.channels, spec_.height, spec_.width);
+  Rng rng(mix(seed_, mix(seed, 0x7E57ull)));
+  for (int64_t cls = 0; cls < spec_.num_classes; ++cls) {
+    for (int64_t k = 0; k < frames_per_class; ++k) {
+      const int64_t inst = rng.uniform_int(spec_.instances_per_class);
+      const int64_t env = rng.uniform_int(spec_.environments);
+      const int64_t frame = kTestFrameBase + rng.uniform_int(100'000);
+      ds.add(render(cls, inst, env, frame), cls, inst, env);
+    }
+  }
+  return ds;
+}
+
+}  // namespace deco::data

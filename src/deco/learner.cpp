@@ -1,0 +1,168 @@
+#include "deco/core/learner.h"
+
+#include <chrono>
+
+#include "deco/nn/loss.h"
+#include "deco/nn/optim.h"
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+
+namespace deco::core {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed)
+    : DecoLearner(model, config, seed,
+                  std::make_unique<condense::DecoCondenser>(
+                      model.config(), config.condenser, seed ^ 0xD3C0ull)) {}
+
+DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed,
+                         std::unique_ptr<condense::Condenser> condenser)
+    : model_(model),
+      config_(config),
+      rng_(seed),
+      buffer_(model.config().num_classes, config.ipc, model.config().in_channels,
+              model.config().image_h, model.config().image_w),
+      condenser_(std::move(condenser)) {
+  DECO_CHECK(condenser_ != nullptr, "DecoLearner: null condenser");
+  DECO_CHECK(config_.beta >= 1, "DecoLearner: beta must be >= 1");
+}
+
+std::string DecoLearner::name() const { return condenser_->name(); }
+
+void DecoLearner::init_buffer_from(const data::Dataset& labeled) {
+  buffer_.init_from_dataset(labeled, rng_);
+  if (config_.condenser.learn_soft_labels && !buffer_.soft_labels_enabled())
+    buffer_.enable_soft_labels();
+}
+
+SegmentReport DecoLearner::observe_segment(const Tensor& images) {
+  // Majority voting can be ablated: threshold 0 keeps every class with at
+  // least one prediction, i.e. plain self-training pseudo-labels.
+  const float m = config_.use_majority_voting ? config_.threshold_m : 0.0f;
+  PseudoLabelResult pl = pseudo_label_segment(model_, images, m);
+
+  SegmentReport report;
+  report.pseudo_labels = pl.labels;
+  report.confidences = pl.confidences;
+  report.retained = pl.retained;
+  report.active_class_count = static_cast<int64_t>(pl.active_classes.size());
+
+  if (!pl.retained.empty() && !pl.active_classes.empty()) {
+    Tensor x_real = take(images, pl.retained);
+    std::vector<int64_t> y_real;
+    std::vector<float> w_real;
+    y_real.reserve(pl.retained.size());
+    w_real.reserve(pl.retained.size());
+    for (int64_t i : pl.retained) {
+      y_real.push_back(pl.labels[static_cast<size_t>(i)]);
+      w_real.push_back(pl.confidences[static_cast<size_t>(i)]);
+    }
+
+    condense::CondenseContext ctx;
+    ctx.buffer = &buffer_;
+    ctx.x_real = &x_real;
+    ctx.y_real = &y_real;
+    ctx.w_real = &w_real;
+    ctx.active_classes = &pl.active_classes;
+    ctx.deployed_model = &model_;
+    ctx.rng = &rng_;
+
+    const double t0 = now_seconds();
+    condenser_->condense(ctx);
+    condense_seconds_ += now_seconds() - t0;
+
+    if (auto* deco = dynamic_cast<condense::DecoCondenser*>(condenser_.get());
+        deco != nullptr && !deco->last_distances().empty()) {
+      report.condense_distance = deco->last_distances().back();
+    }
+  }
+
+  ++segments_seen_;
+  if (segments_seen_ % config_.beta == 0) update_model_now();
+  return report;
+}
+
+void DecoLearner::update_model_now() {
+  if (buffer_.soft_labels_enabled()) {
+    std::vector<int64_t> all(static_cast<size_t>(buffer_.size()));
+    for (int64_t r = 0; r < buffer_.size(); ++r) all[static_cast<size_t>(r)] = r;
+    train_classifier_soft(model_, buffer_.images(), buffer_.soft_targets(all),
+                          config_.model_update_epochs, config_.lr_model,
+                          config_.weight_decay, config_.train_batch, rng_);
+    return;
+  }
+  train_classifier(model_, buffer_.images(), buffer_.labels(),
+                   config_.model_update_epochs, config_.lr_model,
+                   config_.weight_decay, config_.train_batch, rng_);
+}
+
+void train_classifier(nn::ConvNet& model, const Tensor& images,
+                      const std::vector<int64_t>& labels, int64_t epochs,
+                      float lr, float weight_decay, int64_t batch_size,
+                      Rng& rng) {
+  const int64_t n = images.dim(0);
+  DECO_CHECK(n == static_cast<int64_t>(labels.size()),
+             "train_classifier: label count mismatch");
+  if (n == 0) return;
+  nn::SgdMomentum opt(model, lr, 0.9f, weight_decay);
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int64_t e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (int64_t start = 0; start < n; start += batch_size) {
+      const int64_t end = std::min(n, start + batch_size);
+      std::vector<int64_t> idx(order.begin() + start, order.begin() + end);
+      Tensor xb = take(images, idx);
+      std::vector<int64_t> yb;
+      yb.reserve(idx.size());
+      for (int64_t i : idx) yb.push_back(labels[static_cast<size_t>(i)]);
+
+      model.zero_grad();
+      Tensor logits = model.forward(xb);
+      auto ce = nn::weighted_cross_entropy(logits, yb);
+      model.backward(ce.grad_logits);
+      opt.step();
+      model.zero_grad();
+    }
+  }
+}
+
+void train_classifier_soft(nn::ConvNet& model, const Tensor& images,
+                           const Tensor& targets, int64_t epochs, float lr,
+                           float weight_decay, int64_t batch_size, Rng& rng) {
+  const int64_t n = images.dim(0);
+  DECO_CHECK(targets.ndim() == 2 && targets.dim(0) == n,
+             "train_classifier_soft: target count mismatch");
+  if (n == 0) return;
+  nn::SgdMomentum opt(model, lr, 0.9f, weight_decay);
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int64_t e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (int64_t start = 0; start < n; start += batch_size) {
+      const int64_t end = std::min(n, start + batch_size);
+      std::vector<int64_t> idx(order.begin() + start, order.begin() + end);
+      Tensor xb = take(images, idx);
+      Tensor qb = take(targets, idx);
+      model.zero_grad();
+      Tensor logits = model.forward(xb);
+      auto ce = nn::soft_cross_entropy(logits, qb);
+      model.backward(ce.grad_logits);
+      opt.step();
+      model.zero_grad();
+    }
+  }
+}
+
+}  // namespace deco::core

@@ -1,0 +1,47 @@
+#include "deco/core/pseudo_label.h"
+
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+
+namespace deco::core {
+
+PseudoLabelResult pseudo_label_segment(nn::ConvNet& model, const Tensor& images,
+                                       float threshold_m) {
+  DECO_CHECK(images.ndim() == 4, "pseudo_label_segment: images must be NCHW");
+  PseudoLabelResult res;
+
+  Tensor logits = model.forward(images);
+  Tensor probs = softmax_rows(logits);
+  res.labels = argmax_rows(probs);
+  res.confidences = max_rows(probs);
+
+  res.active_classes =
+      majority_vote(res.labels, model.config().num_classes, threshold_m);
+
+  // Eq. (3): keep exactly the samples whose pseudo-label is active.
+  std::vector<bool> active(static_cast<size_t>(model.config().num_classes), false);
+  for (int64_t c : res.active_classes) active[static_cast<size_t>(c)] = true;
+  for (size_t i = 0; i < res.labels.size(); ++i)
+    if (active[static_cast<size_t>(res.labels[i])])
+      res.retained.push_back(static_cast<int64_t>(i));
+  return res;
+}
+
+std::vector<int64_t> majority_vote(const std::vector<int64_t>& labels,
+                                   int64_t num_classes, float threshold_m) {
+  DECO_CHECK(num_classes >= 1, "majority_vote: bad class count");
+  DECO_CHECK(!labels.empty(), "majority_vote: empty window");
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  for (int64_t y : labels) {
+    DECO_CHECK(y >= 0 && y < num_classes, "majority_vote: label out of range");
+    ++counts[static_cast<size_t>(y)];
+  }
+  const float inv = 1.0f / static_cast<float>(labels.size());
+  std::vector<int64_t> active;
+  for (int64_t c = 0; c < num_classes; ++c)
+    if (static_cast<float>(counts[static_cast<size_t>(c)]) * inv > threshold_m)
+      active.push_back(c);
+  return active;
+}
+
+}  // namespace deco::core

@@ -1,0 +1,147 @@
+#include "deco/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+
+namespace deco::eval {
+
+float accuracy(nn::ConvNet& model, const data::Dataset& test,
+               int64_t batch_size) {
+  DECO_CHECK(test.size() > 0, "accuracy: empty test set");
+  int64_t correct = 0;
+  for (int64_t start = 0; start < test.size(); start += batch_size) {
+    const int64_t end = std::min(test.size(), start + batch_size);
+    std::vector<int64_t> idx;
+    for (int64_t i = start; i < end; ++i) idx.push_back(i);
+    Tensor logits = model.forward(test.batch(idx));
+    const std::vector<int64_t> pred = argmax_rows(logits);
+    for (size_t i = 0; i < idx.size(); ++i)
+      if (pred[i] == test.label(idx[i])) ++correct;
+  }
+  return 100.0f * static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+std::vector<std::vector<int64_t>> confusion_matrix(nn::ConvNet& model,
+                                                   const data::Dataset& test,
+                                                   int64_t batch_size) {
+  const int64_t c = model.config().num_classes;
+  std::vector<std::vector<int64_t>> counts(
+      static_cast<size_t>(c), std::vector<int64_t>(static_cast<size_t>(c), 0));
+  for (int64_t start = 0; start < test.size(); start += batch_size) {
+    const int64_t end = std::min(test.size(), start + batch_size);
+    std::vector<int64_t> idx;
+    for (int64_t i = start; i < end; ++i) idx.push_back(i);
+    Tensor logits = model.forward(test.batch(idx));
+    const std::vector<int64_t> pred = argmax_rows(logits);
+    for (size_t i = 0; i < idx.size(); ++i)
+      ++counts[static_cast<size_t>(test.label(idx[i]))]
+              [static_cast<size_t>(pred[i])];
+  }
+  return counts;
+}
+
+std::vector<std::vector<Misclassification>> top_misclassifications(
+    const std::vector<std::vector<int64_t>>& confusion, int64_t k) {
+  const size_t c = confusion.size();
+  std::vector<std::vector<Misclassification>> out(c);
+  for (size_t t = 0; t < c; ++t) {
+    int64_t total_wrong = 0;
+    for (size_t p = 0; p < c; ++p)
+      if (p != t) total_wrong += confusion[t][p];
+    if (total_wrong == 0) continue;
+    std::vector<Misclassification> items;
+    for (size_t p = 0; p < c; ++p) {
+      if (p == t || confusion[t][p] == 0) continue;
+      items.push_back({static_cast<int64_t>(p),
+                       static_cast<double>(confusion[t][p]) /
+                           static_cast<double>(total_wrong)});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.fraction > b.fraction; });
+    if (static_cast<int64_t>(items.size()) > k)
+      items.resize(static_cast<size_t>(k));
+    out[t] = std::move(items);
+  }
+  return out;
+}
+
+std::vector<float> per_class_accuracy(nn::ConvNet& model,
+                                      const data::Dataset& test,
+                                      int64_t batch_size) {
+  const auto conf = confusion_matrix(model, test, batch_size);
+  std::vector<float> out(conf.size(), 0.0f);
+  for (size_t c = 0; c < conf.size(); ++c) {
+    int64_t total = 0;
+    for (int64_t v : conf[c]) total += v;
+    if (total > 0)
+      out[c] = 100.0f * static_cast<float>(conf[c][c]) /
+               static_cast<float>(total);
+  }
+  return out;
+}
+
+void ForgettingTracker::record(const std::vector<float>& per_class) {
+  DECO_CHECK(history_.empty() || history_.front().size() == per_class.size(),
+             "ForgettingTracker: class count changed between snapshots");
+  history_.push_back(per_class);
+}
+
+std::vector<float> ForgettingTracker::per_class_forgetting() const {
+  if (history_.size() < 2) return {};
+  const auto& latest = history_.back();
+  std::vector<float> out(latest.size(), 0.0f);
+  for (size_t c = 0; c < latest.size(); ++c) {
+    float peak = 0.0f;
+    for (const auto& snap : history_) peak = std::max(peak, snap[c]);
+    out[c] = std::max(0.0f, peak - latest[c]);
+  }
+  return out;
+}
+
+float ForgettingTracker::mean_forgetting() const {
+  const auto f = per_class_forgetting();
+  if (f.empty()) return 0.0f;
+  double sum = 0.0;
+  int64_t learned = 0;
+  for (size_t c = 0; c < f.size(); ++c) {
+    float peak = 0.0f;
+    for (const auto& snap : history_) peak = std::max(peak, snap[c]);
+    if (peak > 0.0f) {
+      sum += f[c];
+      ++learned;
+    }
+  }
+  return learned > 0 ? static_cast<float>(sum / learned) : 0.0f;
+}
+
+Aggregate aggregate(const std::vector<float>& values) {
+  Aggregate a;
+  if (values.empty()) return a;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  a.mean = static_cast<float>(sum / static_cast<double>(values.size()));
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (float v : values) {
+      const double d = v - a.mean;
+      sq += d * d;
+    }
+    a.stddev = static_cast<float>(
+        std::sqrt(sq / static_cast<double>(values.size() - 1)));
+  }
+  return a;
+}
+
+std::string format_aggregate(const Aggregate& a, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << a.mean << "±" << a.stddev;
+  return os.str();
+}
+
+}  // namespace deco::eval

@@ -1,0 +1,159 @@
+#include "deco/eval/runner.h"
+
+#include <chrono>
+#include <memory>
+
+#include "deco/eval/metrics.h"
+#include "deco/tensor/check.h"
+
+namespace deco::eval {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::unique_ptr<condense::Condenser> make_condenser(const RunConfig& cfg,
+                                                    const nn::ConvNetConfig& mc,
+                                                    uint64_t seed) {
+  if (cfg.method == "deco") {
+    return std::make_unique<condense::DecoCondenser>(mc, cfg.deco.condenser,
+                                                     seed);
+  }
+  if (cfg.method == "dc" || cfg.method == "dsa") {
+    condense::BilevelConfig bc = cfg.bilevel;
+    if (cfg.method == "dsa") {
+      bc.dsa_strategy = "flip_shift_scale_rotate_color_cutout";
+    } else {
+      bc.dsa_strategy.clear();
+    }
+    return std::make_unique<condense::BilevelCondenser>(mc, bc, seed);
+  }
+  if (cfg.method == "dm") {
+    return std::make_unique<condense::DmCondenser>(mc, condense::DmConfig{}, seed);
+  }
+  if (cfg.method == "mtt") {
+    return std::make_unique<condense::MttCondenser>(mc, condense::MttConfig{},
+                                                    seed);
+  }
+  DECO_CHECK(false, "make_condenser: not a condensation method: " + cfg.method);
+  return nullptr;
+}
+}  // namespace
+
+RunResult run_experiment(const RunConfig& config) {
+  const double t_start = now_seconds();
+
+  data::ProceduralImageWorld world(config.spec, config.seed * 7919 + 17);
+  data::Dataset pretrain =
+      world.make_labeled_set(config.pretrain_per_class, config.seed + 1);
+  data::Dataset test = world.make_test_set(config.test_per_class, config.seed + 2);
+
+  nn::ConvNetConfig mc;
+  mc.in_channels = config.spec.channels;
+  mc.image_h = config.spec.height;
+  mc.image_w = config.spec.width;
+  mc.num_classes = config.spec.num_classes;
+  mc.width = config.model_width;
+  mc.depth = config.model_depth;
+
+  Rng rng(config.seed * 0x9E37 + 0xC0FFEE);
+  nn::ConvNet model(mc, rng);
+
+  // Pre-deployment training on the small labeled subset (paper: 1–10%).
+  {
+    std::vector<int64_t> all(static_cast<size_t>(pretrain.size()));
+    for (int64_t i = 0; i < pretrain.size(); ++i) all[static_cast<size_t>(i)] = i;
+    core::train_classifier(model, pretrain.batch(all), pretrain.labels(),
+                           config.pretrain_epochs, config.deco.lr_model,
+                           config.deco.weight_decay, config.deco.train_batch,
+                           rng);
+  }
+
+  RunResult result;
+  result.pretrain_accuracy = accuracy(model, test);
+
+  // Build the learner.
+  std::unique_ptr<core::OnDeviceLearner> learner;
+  core::DecoConfig dc = config.deco;
+  dc.ipc = config.ipc;
+  baselines::BaselineConfig bc = config.baseline;
+  bc.ipc = config.ipc;
+
+  if (config.method == "deco" || config.method == "dc" ||
+      config.method == "dsa" || config.method == "dm" ||
+      config.method == "mtt") {
+    auto condenser = make_condenser(config, mc, config.seed ^ 0xD3C0DE);
+    auto deco = std::make_unique<core::DecoLearner>(model, dc, config.seed + 3,
+                                                    std::move(condenser));
+    deco->init_buffer_from(pretrain);
+    learner = std::move(deco);
+  } else if (config.method == "upper_bound") {
+    auto ub =
+        std::make_unique<baselines::UnlimitedLearner>(model, bc, config.seed + 3);
+    ub->init_buffer_from(pretrain);
+    learner = std::move(ub);
+  } else {
+    auto strat = baselines::strategy_from_name(config.method);
+    auto bl = std::make_unique<baselines::BaselineLearner>(model, strat, bc,
+                                                           config.seed + 3);
+    bl->init_buffer_from(pretrain);
+    learner = std::move(bl);
+  }
+
+  // Stream replay.
+  data::TemporalStream stream(world, config.stream, config.seed + 4);
+  data::Segment seg;
+  int64_t pseudo_correct = 0, pseudo_total = 0, retained_total = 0;
+  auto* oracle = config.method == "upper_bound"
+                     ? dynamic_cast<baselines::UnlimitedLearner*>(learner.get())
+                     : nullptr;
+  while (stream.next(seg)) {
+    // The upper bound is an oracle: unlimited memory AND ground-truth labels
+    // (the paper defines it as the accuracy achievable with unlimited buffer).
+    core::SegmentReport rep =
+        oracle != nullptr
+            ? oracle->observe_labeled_segment(seg.images, seg.true_labels)
+            : learner->observe_segment(seg.images);
+
+    for (size_t i = 0; i < rep.pseudo_labels.size(); ++i) {
+      if (rep.pseudo_labels[i] == seg.true_labels[i]) ++pseudo_correct;
+      ++pseudo_total;
+    }
+    retained_total += static_cast<int64_t>(rep.retained.size());
+
+    if (config.eval_every_segments > 0 &&
+        stream.segments_emitted() % config.eval_every_segments == 0) {
+      result.curve.push_back(
+          {stream.samples_emitted(), accuracy(learner->model(), test)});
+    }
+  }
+
+  result.final_accuracy = accuracy(learner->model(), test);
+  result.condense_seconds = learner->condense_seconds();
+  result.total_seconds = now_seconds() - t_start;
+  result.pseudo_label_accuracy =
+      pseudo_total > 0
+          ? static_cast<double>(pseudo_correct) / static_cast<double>(pseudo_total)
+          : 0.0;
+  result.retention_rate =
+      pseudo_total > 0
+          ? static_cast<double>(retained_total) / static_cast<double>(pseudo_total)
+          : 0.0;
+  return result;
+}
+
+std::vector<RunResult> run_seeds(RunConfig config, int64_t seeds) {
+  std::vector<RunResult> out;
+  out.reserve(static_cast<size_t>(seeds));
+  const uint64_t base = config.seed;
+  for (int64_t s = 0; s < seeds; ++s) {
+    config.seed = base + static_cast<uint64_t>(s);
+    out.push_back(run_experiment(config));
+  }
+  return out;
+}
+
+}  // namespace deco::eval

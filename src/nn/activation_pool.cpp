@@ -1,0 +1,160 @@
+#include <limits>
+
+#include "deco/nn/layers.h"
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+
+// ---- ReLU -------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  if (!mask_.same_shape(input)) mask_ = Tensor(input.shape());
+  float* po = out.data();
+  float* pm = mask_.data();
+  for (int64_t i = 0, n = out.numel(); i < n; ++i) {
+    const bool pos = po[i] > 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+    if (!pos) po[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DECO_CHECK(grad_output.numel() == mask_.numel(),
+             "ReLU::backward called without matching forward");
+  Tensor grad = grad_output;
+  grad.mul_(mask_);
+  return grad;
+}
+
+// ---- AvgPool2d ---------------------------------------------------------------
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  DECO_CHECK(input.ndim() == 4, "AvgPool2d: input must be NCHW");
+  const int64_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                W = input.dim(3);
+  DECO_CHECK(H % kernel_ == 0 && W % kernel_ == 0,
+             "AvgPool2d: spatial dims " + input.shape_str() +
+                 " not divisible by kernel " + std::to_string(kernel_));
+  in_shape_ = input.shape();
+  const int64_t oh = H / kernel_, ow = W / kernel_;
+  Tensor out({N, C, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* pi = input.data();
+  float* po = out.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    const float* img = pi + nc * H * W;
+    float* dst = po + nc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (int64_t ky = 0; ky < kernel_; ++ky) {
+          const float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
+          for (int64_t kx = 0; kx < kernel_; ++kx) acc += rowp[kx];
+        }
+        dst[oy * ow + ox] = static_cast<float>(acc) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  DECO_CHECK(!in_shape_.empty(), "AvgPool2d::backward without forward");
+  const int64_t N = in_shape_[0], C = in_shape_[1], H = in_shape_[2],
+                W = in_shape_[3];
+  const int64_t oh = H / kernel_, ow = W / kernel_;
+  DECO_CHECK(grad_output.ndim() == 4 && grad_output.dim(2) == oh &&
+                 grad_output.dim(3) == ow,
+             "AvgPool2d::backward: grad shape mismatch");
+  Tensor grad_input(in_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* pg = grad_output.data();
+  float* pi = grad_input.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    float* img = pi + nc * H * W;
+    const float* src = pg + nc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float g = src[oy * ow + ox] * inv;
+        for (int64_t ky = 0; ky < kernel_; ++ky) {
+          float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
+          for (int64_t kx = 0; kx < kernel_; ++kx) rowp[kx] += g;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ---- MaxPool2d ---------------------------------------------------------------
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  DECO_CHECK(input.ndim() == 4, "MaxPool2d: input must be NCHW");
+  const int64_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                W = input.dim(3);
+  DECO_CHECK(H % kernel_ == 0 && W % kernel_ == 0,
+             "MaxPool2d: spatial dims " + input.shape_str() +
+                 " not divisible by kernel " + std::to_string(kernel_));
+  in_shape_ = input.shape();
+  const int64_t oh = H / kernel_, ow = W / kernel_;
+  Tensor out({N, C, oh, ow});
+  argmax_.assign(static_cast<size_t>(out.numel()), 0);
+  const float* pi = input.data();
+  float* po = out.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    const float* img = pi + nc * H * W;
+    float* dst = po + nc * oh * ow;
+    int64_t* amax = argmax_.data() + nc * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        int64_t best_idx = 0;
+        for (int64_t ky = 0; ky < kernel_; ++ky) {
+          const int64_t iy = oy * kernel_ + ky;
+          for (int64_t kx = 0; kx < kernel_; ++kx) {
+            const int64_t ix = ox * kernel_ + kx;
+            const float v = img[iy * W + ix];
+            if (v > best) {
+              best = v;
+              best_idx = nc * H * W + iy * W + ix;
+            }
+          }
+        }
+        dst[oy * ow + ox] = best;
+        amax[oy * ow + ox] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  DECO_CHECK(!in_shape_.empty(), "MaxPool2d::backward without forward");
+  DECO_CHECK(grad_output.numel() == static_cast<int64_t>(argmax_.size()),
+             "MaxPool2d::backward: grad shape mismatch");
+  Tensor grad_input(in_shape_);
+  float* pi = grad_input.data();
+  const float* pg = grad_output.data();
+  for (int64_t i = 0, n = grad_output.numel(); i < n; ++i)
+    pi[argmax_[static_cast<size_t>(i)]] += pg[i];
+  return grad_input;
+}
+
+// ---- Flatten ------------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& input) {
+  DECO_CHECK(input.ndim() >= 2, "Flatten: input must have a batch axis");
+  in_shape_ = input.shape();
+  int64_t per = 1;
+  for (int64_t d = 1; d < input.ndim(); ++d) per *= input.dim(d);
+  return input.reshaped({input.dim(0), per});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  DECO_CHECK(!in_shape_.empty(), "Flatten::backward without forward");
+  return grad_output.reshaped(in_shape_);
+}
+
+}  // namespace deco::nn

@@ -1,0 +1,70 @@
+#include "deco/nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "deco/tensor/check.h"
+#include "deco/tensor/serialize.h"
+
+namespace deco::nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'E', 'C', 'O', 'C', 'K', 'P', 'T'};
+
+void write_string(std::ostream& os, const std::string& s) {
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(s.data(), n);
+}
+
+std::string read_string(std::istream& is) {
+  uint32_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  DECO_CHECK(static_cast<bool>(is) && n < 4096, "checkpoint: bad string");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  DECO_CHECK(static_cast<bool>(is), "checkpoint: string truncated");
+  return s;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, Module& model) {
+  std::ofstream os(path, std::ios::binary);
+  DECO_CHECK(os.is_open(), "save_checkpoint: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  auto params = model.parameters();
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (ParamRef& p : params) {
+    write_string(os, p.name);
+    write_tensor(os, *p.value);
+  }
+  DECO_CHECK(static_cast<bool>(os), "save_checkpoint: write failed");
+}
+
+void load_checkpoint(const std::string& path, Module& model) {
+  std::ifstream is(path, std::ios::binary);
+  DECO_CHECK(is.is_open(), "load_checkpoint: cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DECO_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 8, kMagic),
+             "load_checkpoint: not a DECO checkpoint");
+  uint32_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto params = model.parameters();
+  DECO_CHECK(count == params.size(),
+             "load_checkpoint: parameter count mismatch (file " +
+                 std::to_string(count) + ", model " +
+                 std::to_string(params.size()) + ")");
+  for (ParamRef& p : params) {
+    const std::string name = read_string(is);
+    DECO_CHECK(name == p.name, "load_checkpoint: parameter order mismatch: "
+                               "expected " + p.name + ", found " + name);
+    Tensor t = read_tensor(is);
+    DECO_CHECK(t.shape() == p.value->shape(),
+               "load_checkpoint: shape mismatch for " + p.name);
+    *p.value = std::move(t);
+  }
+}
+
+}  // namespace deco::nn

@@ -1,0 +1,68 @@
+#include "deco/nn/convnet.h"
+
+#include <memory>
+
+#include "deco/nn/layers.h"
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+
+ConvNet::ConvNet(const ConvNetConfig& config, Rng& rng) : config_(config) {
+  DECO_CHECK(config.depth >= 1, "ConvNet: depth must be >= 1");
+  int64_t c = config.in_channels;
+  int64_t h = config.image_h;
+  int64_t w = config.image_w;
+  for (int64_t d = 0; d < config.depth; ++d) {
+    encoder_.add(std::make_unique<Conv2d>(c, config.width, /*kernel=*/3,
+                                          /*stride=*/1, /*padding=*/1, rng));
+    encoder_.add(std::make_unique<InstanceNorm2d>(config.width));
+    encoder_.add(std::make_unique<ReLU>());
+    DECO_CHECK(h % 2 == 0 && w % 2 == 0,
+               "ConvNet: image size must halve cleanly at block " +
+                   std::to_string(d));
+    if (config.pooling == Pooling::kAvg) {
+      encoder_.add(std::make_unique<AvgPool2d>(2));
+    } else {
+      encoder_.add(std::make_unique<MaxPool2d>(2));
+    }
+    c = config.width;
+    h /= 2;
+    w /= 2;
+  }
+  encoder_.add(std::make_unique<Flatten>());
+  feature_dim_ = c * h * w;
+  head_ = std::make_unique<Linear>(feature_dim_, config.num_classes, rng);
+}
+
+Tensor ConvNet::forward(const Tensor& input) {
+  return head_->forward(encoder_.forward(input));
+}
+
+Tensor ConvNet::backward(const Tensor& grad_logits) {
+  return encoder_.backward(head_->backward(grad_logits));
+}
+
+Tensor ConvNet::embed(const Tensor& input) { return encoder_.forward(input); }
+
+Tensor ConvNet::backward_from_embedding(const Tensor& grad_embedding) {
+  return encoder_.backward(grad_embedding);
+}
+
+void ConvNet::collect_params(std::vector<ParamRef>& out) {
+  encoder_.collect_params(out);
+  head_->collect_params(out);
+}
+
+void ConvNet::reinitialize(Rng& rng) {
+  encoder_.reinitialize(rng);
+  head_->reinitialize(rng);
+}
+
+std::unique_ptr<ConvNet> clone_convnet(const ConvNet& src) {
+  Rng scratch(0);
+  auto dst = std::make_unique<ConvNet>(src.config(), scratch);
+  copy_params(const_cast<ConvNet&>(src), *dst);
+  return dst;
+}
+
+}  // namespace deco::nn

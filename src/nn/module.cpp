@@ -1,0 +1,35 @@
+#include "deco/nn/module.h"
+
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+
+std::vector<ParamRef> Module::parameters() {
+  std::vector<ParamRef> out;
+  collect_params(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (ParamRef& p : parameters()) p.grad->zero();
+}
+
+int64_t Module::num_params() {
+  int64_t n = 0;
+  for (ParamRef& p : parameters()) n += p.value->numel();
+  return n;
+}
+
+void copy_params(Module& src, Module& dst) {
+  auto a = src.parameters();
+  auto b = dst.parameters();
+  DECO_CHECK(a.size() == b.size(), "copy_params: parameter count mismatch");
+  for (size_t i = 0; i < a.size(); ++i) {
+    DECO_CHECK(a[i].value->same_shape(*b[i].value),
+               "copy_params: shape mismatch at parameter " + a[i].name);
+    std::copy(a[i].value->data(), a[i].value->data() + a[i].value->numel(),
+              b[i].value->data());
+  }
+}
+
+}  // namespace deco::nn

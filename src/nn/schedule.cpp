@@ -1,0 +1,36 @@
+#include "deco/nn/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+
+CosineSchedule::CosineSchedule(float base_lr, int64_t total_steps, float min_lr)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  DECO_CHECK(total_steps >= 1, "CosineSchedule: total_steps must be >= 1");
+  DECO_CHECK(min_lr <= base_lr, "CosineSchedule: min_lr exceeds base_lr");
+}
+
+float CosineSchedule::at(int64_t step) const {
+  const int64_t s = std::clamp<int64_t>(step, 0, total_steps_);
+  const double progress =
+      static_cast<double>(s) / static_cast<double>(total_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return min_lr_ + static_cast<float>(cosine) * (base_lr_ - min_lr_);
+}
+
+StepSchedule::StepSchedule(float base_lr, int64_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  DECO_CHECK(step_size >= 1, "StepSchedule: step_size must be >= 1");
+  DECO_CHECK(gamma > 0.0f, "StepSchedule: gamma must be positive");
+}
+
+float StepSchedule::at(int64_t step) const {
+  const int64_t k = std::max<int64_t>(0, step) / step_size_;
+  return base_lr_ * static_cast<float>(std::pow(gamma_, static_cast<double>(k)));
+}
+
+}  // namespace deco::nn

@@ -1,0 +1,34 @@
+#include "deco/nn/sequential.h"
+
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  DECO_CHECK(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+void Sequential::reinitialize(Rng& rng) {
+  for (auto& layer : layers_) layer->reinitialize(rng);
+}
+
+}  // namespace deco::nn

@@ -1,0 +1,342 @@
+#include "deco/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deco/tensor/check.h"
+
+namespace deco {
+
+namespace {
+void ensure_shape(Tensor& t, std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  if (t.numel() == n) {
+    t.reshape(std::move(shape));
+  } else {
+    t = Tensor(std::move(shape));
+  }
+}
+}  // namespace
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul: inputs must be 2-D");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DECO_CHECK(b.dim(0) == k, "matmul: inner dims differ: " + a.shape_str() +
+                                " x " + b.shape_str());
+  ensure_shape(out, {m, n});
+  out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j order: streams B and OUT rows, good locality on one core.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_into(a, b, out);
+  return out;
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: inputs must be 2-D");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  DECO_CHECK(b.dim(0) == k, "matmul_tn: leading dims differ: " + a.shape_str() +
+                                " vs " + b.shape_str());
+  ensure_shape(out, {m, n});
+  out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // out[i,j] = sum_k a[k,i]*b[k,j]; iterate k outermost to stream both inputs.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_tn_into(a, b, out);
+  return out;
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: inputs must be 2-D");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  DECO_CHECK(b.dim(1) == k, "matmul_nt: trailing dims differ: " + a.shape_str() +
+                                " vs " + b.shape_str());
+  ensure_shape(out, {m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      // Four float partial sums: vectorizes well and keeps rounding error
+      // ~O(k/4) instead of O(k) for the long dot products of conv backward.
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      int64_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += arow[kk] * brow[kk];
+        acc1 += arow[kk + 1] * brow[kk + 1];
+        acc2 += arow[kk + 2] * brow[kk + 2];
+        acc3 += arow[kk + 3] * brow[kk + 3];
+      }
+      for (; kk < k; ++kk) acc0 += arow[kk] * brow[kk];
+      orow[j] = (acc0 + acc1) + (acc2 + acc3);
+    }
+  }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_nt_into(a, b, out);
+  return out;
+}
+
+void transpose2d_into(const Tensor& in, Tensor& out) {
+  DECO_CHECK(in.ndim() == 2, "transpose2d: input must be 2-D");
+  const int64_t r = in.dim(0), c = in.dim(1);
+  ensure_shape(out, {c, r});
+  const float* pi = in.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j) po[j * r + i] = pi[i * c + j];
+}
+
+Tensor transpose2d(const Tensor& in) {
+  Tensor out;
+  transpose2d_into(in, out);
+  return out;
+}
+
+void im2col_into(const Tensor& input, const Conv2dGeometry& g, Tensor& cols) {
+  DECO_CHECK(input.ndim() == 4, "im2col: input must be NCHW");
+  const int64_t N = input.dim(0);
+  DECO_CHECK(input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
+                 input.dim(3) == g.in_w,
+             "im2col: input " + input.shape_str() + " disagrees with geometry");
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t rows = g.col_rows();
+  const int64_t cols_per_sample = oh * ow;
+  ensure_shape(cols, {rows, N * cols_per_sample});
+  const float* pi = input.data();
+  float* pc = cols.data();
+  const int64_t total_cols = N * cols_per_sample;
+
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+      for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+        const int64_t row = (c * g.kernel_h + ky) * g.kernel_w + kx;
+        float* out_row = pc + row * total_cols;
+        for (int64_t n = 0; n < N; ++n) {
+          const float* img = pi + (n * g.in_channels + c) * g.in_h * g.in_w;
+          float* dst = out_row + n * cols_per_sample;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride + ky - g.padding;
+            if (iy < 0 || iy >= g.in_h) {
+              std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+              continue;
+            }
+            const float* src_row = img + iy * g.in_w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * g.stride + kx - g.padding;
+              dst[oy * ow + ox] =
+                  (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_into(const Tensor& cols, const Conv2dGeometry& g, Tensor& grad_input) {
+  DECO_CHECK(grad_input.ndim() == 4, "col2im: grad_input must be NCHW");
+  const int64_t N = grad_input.dim(0);
+  DECO_CHECK(grad_input.dim(1) == g.in_channels && grad_input.dim(2) == g.in_h &&
+                 grad_input.dim(3) == g.in_w,
+             "col2im: grad_input disagrees with geometry");
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t cols_per_sample = oh * ow;
+  const int64_t total_cols = N * cols_per_sample;
+  DECO_CHECK(cols.ndim() == 2 && cols.dim(0) == g.col_rows() &&
+                 cols.dim(1) == total_cols,
+             "col2im: cols shape " + cols.shape_str() + " disagrees with geometry");
+  grad_input.zero();
+  const float* pc = cols.data();
+  float* pi = grad_input.data();
+
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+      for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+        const int64_t row = (c * g.kernel_h + ky) * g.kernel_w + kx;
+        const float* in_row = pc + row * total_cols;
+        for (int64_t n = 0; n < N; ++n) {
+          float* img = pi + (n * g.in_channels + c) * g.in_h * g.in_w;
+          const float* src = in_row + n * cols_per_sample;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride + ky - g.padding;
+            if (iy < 0 || iy >= g.in_h) continue;
+            float* dst_row = img + iy * g.in_w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * g.stride + kx - g.padding;
+              if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows_into(const Tensor& logits, Tensor& probs) {
+  DECO_CHECK(logits.ndim() == 2, "softmax_rows: input must be 2-D");
+  const int64_t r = logits.dim(0), c = logits.dim(1);
+  ensure_shape(probs, {r, c});
+  const float* pl = logits.data();
+  float* pp = probs.data();
+  for (int64_t i = 0; i < r; ++i) {
+    const float* in = pl + i * c;
+    float* out = pp + i * c;
+    float mx = in[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < c; ++j) out[j] *= inv;
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out;
+  softmax_rows_into(logits, out);
+  return out;
+}
+
+void log_softmax_rows_into(const Tensor& logits, Tensor& out) {
+  DECO_CHECK(logits.ndim() == 2, "log_softmax_rows: input must be 2-D");
+  const int64_t r = logits.dim(0), c = logits.dim(1);
+  ensure_shape(out, {r, c});
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < r; ++i) {
+    const float* in = pl + i * c;
+    float* o = po + i * c;
+    float mx = in[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(static_cast<double>(in[j]) - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int64_t j = 0; j < c; ++j) o[j] = in[j] - lse;
+  }
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& t) {
+  DECO_CHECK(t.ndim() == 2, "argmax_rows: input must be 2-D");
+  const int64_t r = t.dim(0), c = t.dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(r));
+  const float* p = t.data();
+  for (int64_t i = 0; i < r; ++i) {
+    const float* rowp = p + i * c;
+    out[static_cast<size_t>(i)] =
+        std::distance(rowp, std::max_element(rowp, rowp + c));
+  }
+  return out;
+}
+
+std::vector<float> max_rows(const Tensor& t) {
+  DECO_CHECK(t.ndim() == 2, "max_rows: input must be 2-D");
+  const int64_t r = t.dim(0), c = t.dim(1);
+  std::vector<float> out(static_cast<size_t>(r));
+  const float* p = t.data();
+  for (int64_t i = 0; i < r; ++i)
+    out[static_cast<size_t>(i)] = *std::max_element(p + i * c, p + (i + 1) * c);
+  return out;
+}
+
+float cosine_similarity(const Tensor& a, const Tensor& b) {
+  const float na = a.norm(), nb = b.norm();
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.numel() == b.numel(), "sub_into: numel mismatch");
+  ensure_shape(out, a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+}
+
+void copy_into(const Tensor& src, Tensor& dst) {
+  ensure_shape(dst, src.shape());
+  std::copy(src.data(), src.data() + src.numel(), dst.data());
+}
+
+Tensor row(const Tensor& t, int64_t r) {
+  DECO_CHECK(t.ndim() == 2, "row: input must be 2-D");
+  DECO_CHECK(r >= 0 && r < t.dim(0), "row: index out of range");
+  const int64_t c = t.dim(1);
+  Tensor out({c});
+  std::copy(t.data() + r * c, t.data() + (r + 1) * c, out.data());
+  return out;
+}
+
+Tensor stack(const std::vector<Tensor>& items) {
+  DECO_CHECK(!items.empty(), "stack: empty input");
+  const int64_t per = items.front().numel();
+  std::vector<int64_t> shape = items.front().shape();
+  for (const Tensor& t : items)
+    DECO_CHECK(t.shape() == shape, "stack: shape mismatch");
+  shape.insert(shape.begin(), static_cast<int64_t>(items.size()));
+  Tensor out(shape);
+  float* po = out.data();
+  for (size_t i = 0; i < items.size(); ++i)
+    std::copy(items[i].data(), items[i].data() + per,
+              po + static_cast<int64_t>(i) * per);
+  return out;
+}
+
+Tensor take(const Tensor& t, const std::vector<int64_t>& indices) {
+  DECO_CHECK(t.ndim() >= 1, "take: input must have a leading axis");
+  const int64_t lead = t.dim(0);
+  int64_t per = 1;
+  for (int64_t d = 1; d < t.ndim(); ++d) per *= t.dim(d);
+  std::vector<int64_t> shape = t.shape();
+  shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(shape);
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    DECO_CHECK(idx >= 0 && idx < lead, "take: index out of range");
+    std::copy(t.data() + idx * per, t.data() + (idx + 1) * per,
+              po + static_cast<int64_t>(i) * per);
+  }
+  return out;
+}
+
+}  // namespace deco

@@ -1,0 +1,100 @@
+#include "deco/tensor/serialize.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "deco/tensor/check.h"
+
+namespace deco {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'E', 'C', 'O', 'T', 'N', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DECO_CHECK(static_cast<bool>(is), "tensor stream truncated");
+  return v;
+}
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint32_t>(t.ndim()));
+  for (int64_t d = 0; d < t.ndim(); ++d) write_pod(os, t.dim(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  DECO_CHECK(static_cast<bool>(os), "write_tensor: stream write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
+             "read_tensor: bad magic (not a DECO tensor stream)");
+  const uint32_t version = read_pod<uint32_t>(is);
+  DECO_CHECK(version == kVersion,
+             "read_tensor: unsupported version " + std::to_string(version));
+  const uint32_t ndim = read_pod<uint32_t>(is);
+  DECO_CHECK(ndim <= 8, "read_tensor: implausible rank");
+  std::vector<int64_t> shape(ndim);
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < ndim; ++d) {
+    shape[d] = read_pod<int64_t>(is);
+    DECO_CHECK(shape[d] >= 0 && shape[d] < (int64_t{1} << 32),
+               "read_tensor: implausible dimension");
+    numel *= shape[d];
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  DECO_CHECK(static_cast<bool>(is), "read_tensor: data truncated");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  DECO_CHECK(os.is_open(), "save_tensor: cannot open " + path);
+  write_tensor(os, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DECO_CHECK(is.is_open(), "load_tensor: cannot open " + path);
+  return read_tensor(is);
+}
+
+void write_ppm(const std::string& path, const Tensor& image_chw) {
+  DECO_CHECK(image_chw.ndim() == 3, "write_ppm: image must be CHW");
+  const int64_t c = image_chw.dim(0), h = image_chw.dim(1), w = image_chw.dim(2);
+  DECO_CHECK(c == 1 || c == 3, "write_ppm: 1 or 3 channels required");
+  std::ofstream os(path, std::ios::binary);
+  DECO_CHECK(os.is_open(), "write_ppm: cannot open " + path);
+  os << (c == 3 ? "P6" : "P5") << "\n" << w << " " << h << "\n255\n";
+  const float* p = image_chw.data();
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float v = std::clamp(p[(ch * h + y) * w + x], 0.0f, 1.0f);
+        const unsigned char byte =
+            static_cast<unsigned char>(v * 255.0f + 0.5f);
+        os.write(reinterpret_cast<const char*>(&byte), 1);
+      }
+    }
+  }
+  DECO_CHECK(static_cast<bool>(os), "write_ppm: stream write failed");
+}
+
+}  // namespace deco

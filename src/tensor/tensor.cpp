@@ -1,0 +1,221 @@
+#include "deco/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "deco/tensor/check.h"
+
+namespace deco {
+
+namespace {
+int64_t shape_numel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DECO_CHECK(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<int64_t> shape)
+    : Tensor(std::vector<int64_t>(shape)) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  DECO_CHECK(shape_numel(shape_) == static_cast<int64_t>(data_.size()),
+             "value count does not match shape " + shape_str());
+}
+
+Tensor Tensor::zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  DECO_CHECK(n >= 0, "arange length must be non-negative");
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  DECO_CHECK(i >= 0 && i < ndim(), "dimension index out of range for " + shape_str());
+  return shape_[static_cast<size_t>(i)];
+}
+
+Tensor Tensor::reshaped(std::vector<int64_t> shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(shape));
+  return t;
+}
+
+void Tensor::reshape(std::vector<int64_t> shape) {
+  DECO_CHECK(shape_numel(shape) == numel(),
+             "reshape from " + shape_str() + " changes element count");
+  shape_ = std::move(shape);
+}
+
+float& Tensor::at2(int64_t r, int64_t c) {
+  return data_[static_cast<size_t>(r * shape_[1] + c)];
+}
+float Tensor::at2(int64_t r, int64_t c) const {
+  return data_[static_cast<size_t>(r * shape_[1] + c)];
+}
+
+float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+  const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+float Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  DECO_CHECK(numel() == other.numel(),
+             "add_: numel mismatch " + shape_str() + " vs " + other.shape_str());
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) dst[i] += src[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  DECO_CHECK(numel() == other.numel(),
+             "sub_: numel mismatch " + shape_str() + " vs " + other.shape_str());
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  DECO_CHECK(numel() == other.numel(),
+             "mul_: numel mismatch " + shape_str() + " vs " + other.shape_str());
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  DECO_CHECK(numel() == other.numel(), "add_scaled_: numel mismatch "
+                                       + shape_str() + " vs " + other.shape_str());
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) dst[i] += alpha * src[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float alpha) {
+  for (float& v : data_) v *= alpha;
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float alpha) {
+  for (float& v : data_) v += alpha;
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (float& v : data_) v = std::min(hi, std::max(lo, v));
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+
+Tensor Tensor::operator*(float alpha) const {
+  Tensor out = *this;
+  out.scale_(alpha);
+  return out;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  DECO_CHECK(numel() > 0, "mean of empty tensor");
+  return sum() / static_cast<float>(numel());
+}
+
+float Tensor::min() const {
+  DECO_CHECK(numel() > 0, "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  DECO_CHECK(numel() > 0, "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::norm() const { return std::sqrt(squared_norm()); }
+
+float Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+int64_t Tensor::argmax() const {
+  DECO_CHECK(numel() > 0, "argmax of empty tensor");
+  return std::distance(data_.begin(), std::max_element(data_.begin(), data_.end()));
+}
+
+float Tensor::l1_distance(const Tensor& other) const {
+  DECO_CHECK(numel() == other.numel(), "l1_distance: numel mismatch");
+  double acc = 0.0;
+  for (int64_t i = 0, n = numel(); i < n; ++i)
+    acc += std::abs(static_cast<double>(data_[i]) - other.data_[i]);
+  return static_cast<float>(acc);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  DECO_CHECK(a.numel() == b.numel(), "dot: numel mismatch");
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i)
+    acc += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace deco

@@ -1,0 +1,113 @@
+// Further augmentation properties: determinism given parameters, linearity
+// of each op, channel-count independence, and op-coverage of the sampler.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deco/augment/siamese.h"
+#include "deco/tensor/ops.h"
+#include "test_util.h"
+
+namespace deco::augment {
+namespace {
+
+using deco::testing::expect_tensor_near;
+using deco::testing::random_tensor;
+
+TEST(AugmentPropertyTest, ForwardIsDeterministicGivenParams) {
+  SiameseAugment aug("flip_shift_scale_rotate_color_cutout");
+  Rng rng(1);
+  Tensor x = random_tensor({2, 3, 8, 8}, rng);
+  for (int i = 0; i < 20; ++i) {
+    AugmentParams p = aug.sample(rng, 8, 8);
+    Tensor a = aug.forward(x, p);
+    Tensor b = aug.forward(x, p);
+    EXPECT_EQ(a.l1_distance(b), 0.0f);
+  }
+}
+
+TEST(AugmentPropertyTest, SiameseSharing) {
+  // The same params applied to two different batches must apply the same
+  // geometric transform: checked via linearity — f(x+y) == f(x)+f(y) for the
+  // linear ops (everything except brightness's constant).
+  SiameseAugment aug("flip_shift_scale_rotate_cutout");
+  Rng rng(2);
+  Tensor x = random_tensor({1, 3, 8, 8}, rng);
+  Tensor y = random_tensor({1, 3, 8, 8}, rng);
+  for (int i = 0; i < 20; ++i) {
+    AugmentParams p = aug.sample(rng, 8, 8);
+    Tensor sum = x + y;
+    Tensor lhs = aug.forward(sum, p);
+    Tensor rhs = aug.forward(x, p) + aug.forward(y, p);
+    expect_tensor_near(lhs, rhs, 1e-4f, 1e-4f);
+  }
+}
+
+TEST(AugmentPropertyTest, SaturationAndContrastAreLinear) {
+  SiameseAugment aug("saturation_contrast");
+  Rng rng(3);
+  Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  for (int i = 0; i < 10; ++i) {
+    AugmentParams p = aug.sample(rng, 4, 4);
+    Tensor two_x = x * 2.0f;
+    Tensor lhs = aug.forward(two_x, p);
+    Tensor rhs = aug.forward(x, p) * 2.0f;
+    expect_tensor_near(lhs, rhs, 1e-4f, 1e-4f);
+  }
+}
+
+TEST(AugmentPropertyTest, GeometricOpsWorkOnSingleChannel) {
+  SiameseAugment aug("flip_shift_scale_rotate_cutout");
+  Rng rng(4);
+  Tensor x = random_tensor({2, 1, 6, 6}, rng);
+  for (int i = 0; i < 10; ++i) {
+    AugmentParams p = aug.sample(rng, 6, 6);
+    Tensor y = aug.forward(x, p);
+    EXPECT_EQ(y.shape(), x.shape());
+    Tensor g = random_tensor(x.shape(), rng);
+    Tensor gi = aug.backward(g, p);
+    EXPECT_EQ(gi.shape(), x.shape());
+  }
+}
+
+TEST(AugmentPropertyTest, SamplerCoversEveryConfiguredOp) {
+  SiameseAugment aug("flip_shift_scale_rotate_color_cutout");
+  Rng rng(5);
+  std::map<OpKind, int> counts;
+  for (int i = 0; i < 600; ++i) ++counts[aug.sample(rng, 8, 8).kind];
+  // 8 ops configured; each should appear a healthy number of times.
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [kind, n] : counts) {
+    EXPECT_GT(n, 30) << "op " << static_cast<int>(kind) << " undersampled";
+  }
+}
+
+TEST(AugmentPropertyTest, ScaleShrinkKeepsMassInside) {
+  // Zooming out (scale < 1) must not create pixel values outside the input
+  // range (bilinear interpolation is a convex combination + zero padding).
+  SiameseAugment aug("scale");
+  Tensor x = Tensor::full({1, 1, 8, 8}, 1.0f);
+  AugmentParams p;
+  p.kind = OpKind::kScale;
+  p.scale = 0.8f;
+  Tensor y = aug.forward(x, p);
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f + 1e-5f);
+  // Total mass cannot grow when shrinking into the frame.
+  EXPECT_LE(y.sum(), x.sum() + 1e-3f);
+}
+
+TEST(AugmentPropertyTest, CutoutRemovesExactlyTheWindowMass) {
+  SiameseAugment aug("cutout");
+  Tensor x = Tensor::full({1, 2, 8, 8}, 1.0f);
+  AugmentParams p;
+  p.kind = OpKind::kCutout;
+  p.cutout_x = 2;
+  p.cutout_y = 3;
+  p.cutout_size = 3;
+  Tensor y = aug.forward(x, p);
+  EXPECT_FLOAT_EQ(x.sum() - y.sum(), 2.0f * 9.0f);  // 2 channels × 3×3 window
+}
+
+}  // namespace
+}  // namespace deco::augment

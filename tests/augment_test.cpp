@@ -1,0 +1,166 @@
+#include "deco/augment/siamese.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+#include "test_util.h"
+
+namespace deco::augment {
+namespace {
+
+using deco::testing::expect_tensor_near;
+using deco::testing::random_tensor;
+
+TEST(SiameseAugmentTest, StrategyParsing) {
+  SiameseAugment none("");
+  EXPECT_FALSE(none.enabled());
+  SiameseAugment all("flip_shift_scale_rotate_color_cutout");
+  EXPECT_TRUE(all.enabled());
+  // color expands to 3 ops → 4 + 3 + 1 = 8 total.
+  EXPECT_EQ(all.ops().size(), 8u);
+  EXPECT_THROW(SiameseAugment("banana"), deco::Error);
+}
+
+TEST(SiameseAugmentTest, NoneIsIdentity) {
+  SiameseAugment aug("");
+  Rng rng(1);
+  Tensor x = random_tensor({2, 3, 8, 8}, rng);
+  AugmentParams p;  // kNone
+  expect_tensor_near(aug.forward(x, p), x, 0.0f, 0.0f);
+}
+
+TEST(SiameseAugmentTest, FlipIsInvolution) {
+  SiameseAugment aug("flip");
+  Rng rng(2);
+  Tensor x = random_tensor({1, 2, 6, 6}, rng);
+  AugmentParams p;
+  p.kind = OpKind::kFlip;
+  p.flip = true;
+  expect_tensor_near(aug.forward(aug.forward(x, p), p), x, 1e-7f, 0.0f);
+}
+
+TEST(SiameseAugmentTest, ShiftMovesPixels) {
+  SiameseAugment aug("shift");
+  Tensor x({1, 1, 4, 4});
+  x.at4(0, 0, 1, 1) = 5.0f;
+  AugmentParams p;
+  p.kind = OpKind::kShift;
+  p.shift_x = 1;
+  p.shift_y = 2;
+  Tensor y = aug.forward(x, p);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 3, 2), 5.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 0.0f);
+}
+
+TEST(SiameseAugmentTest, ScaleOnePreservesImage) {
+  SiameseAugment aug("scale");
+  Rng rng(3);
+  Tensor x = random_tensor({1, 1, 6, 6}, rng);
+  AugmentParams p;
+  p.kind = OpKind::kScale;
+  p.scale = 1.0f;
+  expect_tensor_near(aug.forward(x, p), x, 1e-5f, 1e-5f);
+}
+
+TEST(SiameseAugmentTest, RotateZeroPreservesImage) {
+  SiameseAugment aug("rotate");
+  Rng rng(4);
+  Tensor x = random_tensor({1, 2, 5, 5}, rng);
+  AugmentParams p;
+  p.kind = OpKind::kRotate;
+  p.rotate = 0.0f;
+  expect_tensor_near(aug.forward(x, p), x, 1e-5f, 1e-5f);
+}
+
+TEST(SiameseAugmentTest, BrightnessShifts) {
+  SiameseAugment aug("brightness");
+  Tensor x({1, 1, 2, 2}, {0, 1, 2, 3});
+  AugmentParams p;
+  p.kind = OpKind::kBrightness;
+  p.brightness = 0.5f;
+  Tensor y = aug.forward(x, p);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 3.5f);
+}
+
+TEST(SiameseAugmentTest, SaturationZeroGreysOut) {
+  SiameseAugment aug("saturation");
+  Tensor x({1, 3, 1, 1}, {0.0f, 0.5f, 1.0f});
+  AugmentParams p;
+  p.kind = OpKind::kSaturation;
+  p.saturation = 0.0f;
+  Tensor y = aug.forward(x, p);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_NEAR(y[c], 0.5f, 1e-6f);
+}
+
+TEST(SiameseAugmentTest, ContrastOnePreserves) {
+  SiameseAugment aug("contrast");
+  Rng rng(5);
+  Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  AugmentParams p;
+  p.kind = OpKind::kContrast;
+  p.contrast = 1.0f;
+  expect_tensor_near(aug.forward(x, p), x, 1e-6f, 1e-6f);
+}
+
+TEST(SiameseAugmentTest, CutoutZeroesRegion) {
+  SiameseAugment aug("cutout");
+  Tensor x = Tensor::full({1, 1, 6, 6}, 1.0f);
+  AugmentParams p;
+  p.kind = OpKind::kCutout;
+  p.cutout_x = 1;
+  p.cutout_y = 2;
+  p.cutout_size = 2;
+  Tensor y = aug.forward(x, p);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 2, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 3, 2), 0.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.sum(), 36.0f - 4.0f);
+}
+
+TEST(SiameseAugmentTest, SampledParamsInRange) {
+  SiameseAugment aug("flip_shift_scale_rotate_color_cutout");
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    AugmentParams p = aug.sample(rng, 16, 16);
+    EXPECT_NE(p.kind, OpKind::kNone);
+    if (p.kind == OpKind::kScale) {
+      EXPECT_GE(p.scale, 0.8f);
+      EXPECT_LE(p.scale, 1.2f);
+    }
+    if (p.kind == OpKind::kShift) {
+      EXPECT_LE(std::abs(p.shift_x), 2);
+      EXPECT_LE(std::abs(p.shift_y), 2);
+    }
+    if (p.kind == OpKind::kCutout) {
+      EXPECT_GE(p.cutout_x, 0);
+      EXPECT_LE(p.cutout_x + p.cutout_size, 16);
+    }
+  }
+}
+
+// THE key property: backward must be the exact adjoint of forward —
+// <forward(x), y> == <x, backward(y)> for every op and parameter draw.
+// Gradient matching backpropagates through the augmentation, so a wrong
+// adjoint silently corrupts DSA's synthetic gradients.
+class AdjointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjointSweep, BackwardIsAdjointOfForward) {
+  SiameseAugment aug("flip_shift_scale_rotate_color_cutout");
+  Rng rng(1000 + GetParam());
+  Tensor x = random_tensor({2, 3, 8, 8}, rng);
+  AugmentParams p = aug.sample(rng, 8, 8);
+  Tensor y = random_tensor({2, 3, 8, 8}, rng);
+  // Ops may be affine (brightness adds a constant): test the linearized
+  // operator A = forward − forward(0), whose adjoint backward implements.
+  Tensor zero({2, 3, 8, 8});
+  const float lhs = dot(aug.forward(x, p) - aug.forward(zero, p), y);
+  const float rhs = dot(x, aug.backward(y, p));
+  EXPECT_NEAR(lhs, rhs, 1e-2f) << "op kind " << static_cast<int>(p.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyDraws, AdjointSweep, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace deco::augment

@@ -1,0 +1,149 @@
+#include "deco/nn/convnet.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/nn/loss.h"
+#include "deco/nn/optim.h"
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco::nn {
+namespace {
+
+using deco::testing::numeric_gradient;
+using deco::testing::random_tensor;
+using deco::testing::relative_error;
+
+ConvNetConfig tiny_config() {
+  ConvNetConfig c;
+  c.in_channels = 2;
+  c.image_h = 8;
+  c.image_w = 8;
+  c.num_classes = 4;
+  c.width = 6;
+  c.depth = 2;
+  return c;
+}
+
+TEST(ConvNetTest, ForwardShapes) {
+  Rng rng(1);
+  ConvNet net(tiny_config(), rng);
+  Tensor x = random_tensor({3, 2, 8, 8}, rng);
+  Tensor logits = net.forward(x);
+  EXPECT_EQ(logits.shape(), (std::vector<int64_t>{3, 4}));
+  Tensor emb = net.embed(x);
+  EXPECT_EQ(emb.dim(0), 3);
+  EXPECT_EQ(emb.dim(1), net.feature_dim());
+  // depth 2 halves 8 → 2; width 6 channels → feature dim 6·2·2 = 24.
+  EXPECT_EQ(net.feature_dim(), 24);
+}
+
+TEST(ConvNetTest, FullBackwardGradCheck) {
+  Rng rng(2);
+  ConvNetConfig cfg = tiny_config();
+  cfg.image_h = cfg.image_w = 4;
+  cfg.depth = 1;
+  cfg.width = 4;
+  ConvNet net(cfg, rng);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  Tensor logits = net.forward(x);
+  Tensor v = random_tensor(logits.shape(), rng);
+  net.zero_grad();
+  Tensor analytic = net.backward(v);
+  auto loss = [&](const Tensor& probe) { return dot(net.forward(probe), v); };
+  Tensor numeric = numeric_gradient(loss, x, 1e-2f);
+  EXPECT_LT(relative_error(analytic, numeric), 3e-2f);
+}
+
+TEST(ConvNetTest, EmbeddingBackwardGradCheck) {
+  Rng rng(3);
+  ConvNetConfig cfg = tiny_config();
+  cfg.image_h = cfg.image_w = 4;
+  cfg.depth = 1;
+  cfg.width = 4;
+  ConvNet net(cfg, rng);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  Tensor emb = net.embed(x);
+  Tensor v = random_tensor(emb.shape(), rng);
+  net.zero_grad();
+  Tensor analytic = net.backward_from_embedding(v);
+  auto loss = [&](const Tensor& probe) { return dot(net.embed(probe), v); };
+  Tensor numeric = numeric_gradient(loss, x, 1e-2f);
+  EXPECT_LT(relative_error(analytic, numeric), 3e-2f);
+}
+
+TEST(ConvNetTest, ParamCountPositiveAndStable) {
+  Rng rng(4);
+  ConvNet net(tiny_config(), rng);
+  const int64_t n = net.num_params();
+  EXPECT_GT(n, 0);
+  net.reinitialize(rng);
+  EXPECT_EQ(net.num_params(), n);
+}
+
+TEST(ConvNetTest, ReinitializeChangesOutput) {
+  Rng rng(5);
+  ConvNet net(tiny_config(), rng);
+  Tensor x = random_tensor({1, 2, 8, 8}, rng);
+  Tensor y1 = net.forward(x);
+  net.reinitialize(rng);
+  Tensor y2 = net.forward(x);
+  EXPECT_GT(y1.l1_distance(y2), 1e-4f);
+}
+
+TEST(ConvNetTest, CloneReproducesOutputs) {
+  Rng rng(6);
+  ConvNet net(tiny_config(), rng);
+  auto copy = clone_convnet(net);
+  Tensor x = random_tensor({2, 2, 8, 8}, rng);
+  Tensor y1 = net.forward(x);
+  Tensor y2 = copy->forward(x);
+  deco::testing::expect_tensor_near(y1, y2, 1e-6f, 1e-6f);
+}
+
+TEST(ConvNetTest, CloneIsIndependent) {
+  Rng rng(7);
+  ConvNet net(tiny_config(), rng);
+  auto copy = clone_convnet(net);
+  copy->reinitialize(rng);
+  Tensor x = random_tensor({1, 2, 8, 8}, rng);
+  EXPECT_GT(net.forward(x).l1_distance(copy->forward(x)), 1e-4f);
+}
+
+TEST(ConvNetTest, TrainingReducesLoss) {
+  Rng rng(8);
+  ConvNet net(tiny_config(), rng);
+  // Tiny separable problem: class = brightest channel pattern.
+  const int64_t n = 16;
+  Tensor x({n, 2, 8, 8});
+  std::vector<int64_t> y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    y[static_cast<size_t>(i)] = i % 4;
+    for (int64_t j = 0; j < 2 * 8 * 8; ++j)
+      x[i * 2 * 8 * 8 + j] =
+          0.1f * static_cast<float>(rng.normal()) +
+          0.5f * static_cast<float>(i % 4 == (j / 32) % 4);
+  }
+  SgdMomentum opt(net, 0.05f);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    net.zero_grad();
+    Tensor logits = net.forward(x);
+    auto ce = weighted_cross_entropy(logits, y);
+    if (step == 0) first_loss = ce.loss;
+    last_loss = ce.loss;
+    net.backward(ce.grad_logits);
+    opt.step();
+  }
+  EXPECT_LT(last_loss, 0.5f * first_loss);
+}
+
+TEST(ConvNetTest, RejectsOddImageSizes) {
+  Rng rng(9);
+  ConvNetConfig cfg = tiny_config();
+  cfg.image_h = 7;  // cannot halve cleanly
+  EXPECT_THROW(ConvNet net(cfg, rng), Error);
+}
+
+}  // namespace
+}  // namespace deco::nn

@@ -1,0 +1,147 @@
+#include "deco/core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/data/stream.h"
+#include "deco/data/world.h"
+#include "deco/eval/metrics.h"
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco::core {
+namespace {
+
+nn::ConvNetConfig model_config(const data::DatasetSpec& spec) {
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = spec.channels;
+  cfg.image_h = spec.height;
+  cfg.image_w = spec.width;
+  cfg.num_classes = spec.num_classes;
+  cfg.width = 8;
+  cfg.depth = 2;
+  return cfg;
+}
+
+TEST(TrainClassifierTest, FitsSmallLabeledSet) {
+  data::ProceduralImageWorld world(data::icub1_spec(), 1);
+  data::Dataset train = world.make_labeled_set(6, 1);
+  data::Dataset test = world.make_test_set(10, 2);
+
+  Rng rng(2);
+  nn::ConvNet model(model_config(world.spec()), rng);
+  const float before = eval::accuracy(model, test);
+
+  std::vector<int64_t> all(static_cast<size_t>(train.size()));
+  for (int64_t i = 0; i < train.size(); ++i) all[static_cast<size_t>(i)] = i;
+  train_classifier(model, train.batch(all), train.labels(), /*epochs=*/40,
+                   1e-3f, 5e-4f, 32, rng);
+  const float after = eval::accuracy(model, test);
+  // 10 classes: random ≈ 10%; training must lift accuracy well above chance.
+  EXPECT_GT(after, before + 10.0f);
+  EXPECT_GT(after, 25.0f);
+}
+
+TEST(TrainClassifierTest, EmptySetIsNoOp) {
+  Rng rng(3);
+  nn::ConvNet model(model_config(data::icub1_spec()), rng);
+  Tensor empty({0, 3, 16, 16});
+  train_classifier(model, empty, {}, 5, 1e-3f, 0.0f, 32, rng);  // must not crash
+}
+
+TEST(DecoLearnerTest, SegmentsFlowAndBufferStaysBalanced) {
+  data::ProceduralImageWorld world(data::core50_spec(), 4);
+  data::Dataset labeled = world.make_labeled_set(4, 1);
+
+  Rng rng(5);
+  nn::ConvNet model(model_config(world.spec()), rng);
+  std::vector<int64_t> all(static_cast<size_t>(labeled.size()));
+  for (int64_t i = 0; i < labeled.size(); ++i) all[static_cast<size_t>(i)] = i;
+  train_classifier(model, labeled.batch(all), labeled.labels(), 20, 1e-3f,
+                   5e-4f, 32, rng);
+
+  DecoConfig cfg;
+  cfg.ipc = 2;
+  cfg.beta = 2;
+  cfg.model_update_epochs = 3;
+  cfg.condenser.iterations = 2;
+  DecoLearner learner(model, cfg, 6);
+  learner.init_buffer_from(labeled);
+  EXPECT_EQ(learner.buffer().size(), 20);
+
+  data::StreamConfig sc;
+  sc.stc = 16;
+  sc.segment_size = 16;
+  sc.total_segments = 4;
+  data::TemporalStream stream(world, sc, 7);
+  data::Segment seg;
+  int64_t retained = 0;
+  while (stream.next(seg)) {
+    SegmentReport rep = learner.observe_segment(seg.images);
+    EXPECT_EQ(rep.pseudo_labels.size(), 16u);
+    retained += static_cast<int64_t>(rep.retained.size());
+  }
+  EXPECT_EQ(learner.segments_seen(), 4);
+  EXPECT_GT(learner.condense_seconds(), 0.0);
+  EXPECT_GT(retained, 0);
+  // Buffer invariants survive streaming.
+  EXPECT_EQ(learner.buffer().size(), 20);
+  EXPECT_GE(learner.buffer().images().min(), 0.0f);
+  EXPECT_LE(learner.buffer().images().max(), 1.0f);
+}
+
+TEST(DecoLearnerTest, MajorityVotingAblationRetainsMore) {
+  data::ProceduralImageWorld world(data::core50_spec(), 8);
+  data::Dataset labeled = world.make_labeled_set(4, 1);
+  Rng rng(9);
+  nn::ConvNet model(model_config(world.spec()), rng);
+
+  auto run = [&](bool voting) {
+    auto m2 = nn::clone_convnet(model);
+    DecoConfig cfg;
+    cfg.ipc = 1;
+    cfg.beta = 100;
+    cfg.use_majority_voting = voting;
+    cfg.condenser.iterations = 1;
+    DecoLearner learner(*m2, cfg, 10);
+    learner.init_buffer_from(labeled);
+    data::StreamConfig sc;
+    sc.stc = 8;
+    sc.segment_size = 16;
+    sc.total_segments = 3;
+    data::TemporalStream stream(world, sc, 11);
+    data::Segment seg;
+    int64_t retained = 0;
+    while (stream.next(seg))
+      retained += static_cast<int64_t>(learner.observe_segment(seg.images).retained.size());
+    return retained;
+  };
+  // Disabling the majority-voting filter never retains fewer samples.
+  EXPECT_GE(run(false), run(true));
+}
+
+TEST(DecoLearnerTest, NameReflectsInjectedCondenser) {
+  data::DatasetSpec spec = data::icub1_spec();
+  Rng rng(12);
+  nn::ConvNet model(model_config(spec), rng);
+  DecoConfig cfg;
+  cfg.ipc = 1;
+  DecoLearner deco(model, cfg, 13);
+  EXPECT_EQ(deco.name(), "DECO");
+
+  auto dm = std::make_unique<condense::DmCondenser>(model_config(spec),
+                                                    condense::DmConfig{}, 14);
+  DecoLearner dm_learner(model, cfg, 15, std::move(dm));
+  EXPECT_EQ(dm_learner.name(), "DM");
+}
+
+TEST(DecoLearnerTest, RejectsBadConfig) {
+  data::DatasetSpec spec = data::icub1_spec();
+  Rng rng(16);
+  nn::ConvNet model(model_config(spec), rng);
+  DecoConfig cfg;
+  cfg.beta = 0;
+  EXPECT_THROW(DecoLearner(model, cfg, 17), Error);
+}
+
+}  // namespace
+}  // namespace deco::core

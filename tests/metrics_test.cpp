@@ -1,0 +1,87 @@
+#include "deco/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/core/learner.h"
+#include "deco/data/world.h"
+#include "test_util.h"
+
+namespace deco::eval {
+namespace {
+
+TEST(AggregateTest, MeanAndStddev) {
+  Aggregate a = aggregate({1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(a.mean, 2.0f);
+  EXPECT_NEAR(a.stddev, 1.0f, 1e-5f);
+}
+
+TEST(AggregateTest, SingleValueHasZeroStddev) {
+  Aggregate a = aggregate({5.0f});
+  EXPECT_FLOAT_EQ(a.mean, 5.0f);
+  EXPECT_FLOAT_EQ(a.stddev, 0.0f);
+}
+
+TEST(AggregateTest, EmptyIsZero) {
+  Aggregate a = aggregate({});
+  EXPECT_EQ(a.mean, 0.0f);
+  EXPECT_EQ(a.stddev, 0.0f);
+}
+
+TEST(AggregateTest, Format) {
+  EXPECT_EQ(format_aggregate({12.345f, 0.678f}), "12.35±0.68");
+  EXPECT_EQ(format_aggregate({1.0f, 0.0f}, 1), "1.0±0.0");
+}
+
+TEST(TopMisclassificationsTest, RanksWrongPredictions) {
+  // Class 0: 10 correct, 6 → class 1, 3 → class 2, 1 → class 3.
+  std::vector<std::vector<int64_t>> conf{
+      {10, 6, 3, 1}, {0, 5, 0, 0}, {0, 0, 5, 0}, {0, 0, 0, 5}};
+  auto top = top_misclassifications(conf, 2);
+  ASSERT_EQ(top[0].size(), 2u);
+  EXPECT_EQ(top[0][0].predicted_class, 1);
+  EXPECT_NEAR(top[0][0].fraction, 0.6, 1e-9);
+  EXPECT_EQ(top[0][1].predicted_class, 2);
+  EXPECT_NEAR(top[0][1].fraction, 0.3, 1e-9);
+  // Classes with no errors have empty lists.
+  EXPECT_TRUE(top[1].empty());
+}
+
+TEST(AccuracyTest, TrainedModelBeatsChanceAndConfusionIsConsistent) {
+  data::ProceduralImageWorld world(data::icub1_spec(), 1);
+  data::Dataset train = world.make_labeled_set(8, 1);
+  data::Dataset test = world.make_test_set(12, 2);
+
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.image_h = cfg.image_w = 16;
+  cfg.num_classes = 10;
+  cfg.width = 8;
+  cfg.depth = 2;
+  Rng rng(2);
+  nn::ConvNet model(cfg, rng);
+  std::vector<int64_t> all(static_cast<size_t>(train.size()));
+  for (int64_t i = 0; i < train.size(); ++i) all[static_cast<size_t>(i)] = i;
+  core::train_classifier(model, train.batch(all), train.labels(), 40, 1e-3f,
+                         5e-4f, 32, rng);
+
+  const float acc = accuracy(model, test);
+  EXPECT_GT(acc, 20.0f);
+
+  auto conf = confusion_matrix(model, test);
+  // Row sums equal per-class test counts; diagonal fraction equals accuracy.
+  int64_t diag = 0, total = 0;
+  for (size_t t = 0; t < conf.size(); ++t) {
+    int64_t row = 0;
+    for (size_t p = 0; p < conf.size(); ++p) {
+      row += conf[t][p];
+      total += conf[t][p];
+    }
+    EXPECT_EQ(row, 12);
+    diag += conf[t][t];
+  }
+  EXPECT_EQ(total, test.size());
+  EXPECT_NEAR(100.0 * static_cast<double>(diag) / total, acc, 1e-3);
+}
+
+}  // namespace
+}  // namespace deco::eval

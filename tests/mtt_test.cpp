@@ -1,0 +1,159 @@
+// Tests for the trajectory-matching (MTT) extension condenser.
+#include <gtest/gtest.h>
+
+#include "deco/condense/method.h"
+#include "deco/data/world.h"
+#include "deco/eval/runner.h"
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco::condense {
+namespace {
+
+nn::ConvNetConfig small_config(int64_t classes = 4) {
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.image_h = cfg.image_w = 16;
+  cfg.num_classes = classes;
+  cfg.width = 8;
+  cfg.depth = 2;
+  return cfg;
+}
+
+struct MttFixture {
+  MttFixture() : rng(1), buffer(4, 2, 3, 16, 16), world(make_spec(), 7) {
+    data::Dataset labeled = world.make_labeled_set(3, 1);
+    buffer.init_from_dataset(labeled, rng);
+    x_real = Tensor({8, 3, 16, 16});
+    for (int64_t i = 0; i < 8; ++i) {
+      const int64_t cls = i < 4 ? 0 : 2;
+      Tensor img = world.render(cls, 0, 0, 100 + i);
+      std::copy(img.data(), img.data() + img.numel(),
+                x_real.data() + i * img.numel());
+      y_real.push_back(cls);
+    }
+    active = {0, 2};
+  }
+
+  static data::DatasetSpec make_spec() {
+    data::DatasetSpec s = data::icub1_spec();
+    s.num_classes = 4;
+    return s;
+  }
+
+  CondenseContext context() {
+    CondenseContext ctx;
+    ctx.buffer = &buffer;
+    ctx.x_real = &x_real;
+    ctx.y_real = &y_real;
+    ctx.w_real = nullptr;
+    ctx.active_classes = &active;
+    ctx.deployed_model = nullptr;  // MTT does not need the deployed encoder
+    ctx.rng = &rng;
+    return ctx;
+  }
+
+  Rng rng;
+  SyntheticBuffer buffer;
+  data::ProceduralImageWorld world;
+  Tensor x_real;
+  std::vector<int64_t> y_real;
+  std::vector<int64_t> active;
+};
+
+TEST(MttCondenserTest, UpdatesActiveRowsOnlyAndKeepsInvariants) {
+  MttFixture f;
+  MttConfig cfg;
+  cfg.iterations = 3;
+  MttCondenser cond(small_config(), cfg, 11);
+  EXPECT_EQ(cond.name(), "MTT");
+
+  Tensor before = f.buffer.images();
+  auto ctx = f.context();
+  cond.condense(ctx);
+
+  const int64_t per = 3 * 16 * 16;
+  float moved_active = 0.0f;
+  for (int64_t r = 0; r < f.buffer.size(); ++r) {
+    float delta = 0.0f;
+    for (int64_t j = 0; j < per; ++j)
+      delta += std::abs(before[r * per + j] - f.buffer.images()[r * per + j]);
+    const bool is_active = f.buffer.label(r) == 0 || f.buffer.label(r) == 2;
+    if (is_active) {
+      moved_active += delta;
+    } else {
+      EXPECT_EQ(delta, 0.0f) << "inactive row " << r << " changed";
+    }
+  }
+  EXPECT_GT(moved_active, 0.0f);
+  EXPECT_GE(f.buffer.images().min(), 0.0f);
+  EXPECT_LE(f.buffer.images().max(), 1.0f);
+  EXPECT_EQ(cond.last_losses().size(), 3u);
+  for (float l : cond.last_losses()) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GE(l, 0.0f);
+  }
+}
+
+TEST(MttCondenserTest, DescentReducesTrajectoryLossWithFixedModelSeed) {
+  // Repeated condense calls on the same data should, on average, reduce the
+  // trajectory loss observed at matching iterations (synthetic data moves
+  // toward reproducing the expert step).
+  MttFixture f;
+  MttConfig cfg;
+  cfg.iterations = 6;
+  cfg.lr_syn = 0.02f;
+  MttCondenser cond(small_config(), cfg, 12);
+  double first = 0.0, last = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto ctx = f.context();
+    cond.condense(ctx);
+    first += cond.last_losses().front();
+    last += cond.last_losses().back();
+  }
+  // Losses are measured under different random models, so allow generous
+  // slack: the trend should not blow up.
+  EXPECT_LT(last, 3.0 * first);
+}
+
+TEST(MttCondenserTest, NoActiveClassesIsNoOp) {
+  MttFixture f;
+  MttConfig cfg;
+  MttCondenser cond(small_config(), cfg, 13);
+  f.active.clear();
+  Tensor before = f.buffer.images();
+  auto ctx = f.context();
+  cond.condense(ctx);
+  EXPECT_EQ(before.l1_distance(f.buffer.images()), 0.0f);
+}
+
+TEST(MttCondenserTest, IncompleteContextThrows) {
+  MttConfig cfg;
+  MttCondenser cond(small_config(), cfg, 14);
+  CondenseContext ctx;
+  EXPECT_THROW(cond.condense(ctx), Error);
+}
+
+TEST(MttRunnerTest, EndToEndThroughRunner) {
+  eval::RunConfig cfg;
+  cfg.method = "mtt";
+  cfg.spec = data::icub1_spec();
+  cfg.stream.stc = 12;
+  cfg.stream.segment_size = 12;
+  cfg.stream.total_segments = 3;
+  cfg.ipc = 2;
+  cfg.deco.beta = 2;
+  cfg.deco.model_update_epochs = 3;
+  cfg.pretrain_per_class = 4;
+  cfg.pretrain_epochs = 8;
+  cfg.test_per_class = 8;
+  cfg.model_width = 8;
+  cfg.model_depth = 2;
+  cfg.seed = 1;
+  const auto res = eval::run_experiment(cfg);
+  EXPECT_GT(res.final_accuracy, 0.0f);
+  EXPECT_GT(res.condense_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace deco::condense

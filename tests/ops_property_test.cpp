@@ -1,0 +1,129 @@
+// Parameterized property sweeps over the numeric kernels: GEMM variants
+// against a reference implementation across shapes, and the im2col/col2im
+// adjoint identity across convolution geometries.
+#include <gtest/gtest.h>
+
+#include "deco/tensor/ops.h"
+#include "deco/tensor/rng.h"
+#include "test_util.h"
+
+namespace deco {
+namespace {
+
+using testing::expect_tensor_near;
+using testing::random_tensor;
+
+// ---- GEMM sweep ----------------------------------------------------------------
+
+struct GemmCase {
+  int64_t m, k, n;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at2(i, kk)) * b.at2(kk, j);
+      out.at2(i, j) = static_cast<float>(acc);
+    }
+  return out;
+}
+
+TEST_P(GemmSweep, AllVariantsAgreeWithReference) {
+  const GemmCase c = GetParam();
+  Rng rng(1000 + c.m * 7 + c.k * 11 + c.n * 13);
+  Tensor a = random_tensor({c.m, c.k}, rng);
+  Tensor b = random_tensor({c.k, c.n}, rng);
+  Tensor ref = reference_matmul(a, b);
+  expect_tensor_near(matmul(a, b), ref, 1e-3f, 1e-3f);
+  expect_tensor_near(matmul_tn(transpose2d(a), b), ref, 1e-3f, 1e-3f);
+  expect_tensor_near(matmul_nt(a, transpose2d(b)), ref, 1e-3f, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{1, 17, 1}, GemmCase{5, 1, 7},
+                      GemmCase{3, 9, 2}, GemmCase{16, 16, 16},
+                      GemmCase{2, 33, 65}, GemmCase{31, 8, 3},
+                      GemmCase{13, 100, 13}));
+
+// ---- im2col/col2im sweep ----------------------------------------------------------
+
+struct ConvGeomCase {
+  int64_t channels, h, w, kernel, stride, padding;
+};
+
+class Im2ColSweep : public ::testing::TestWithParam<ConvGeomCase> {};
+
+TEST_P(Im2ColSweep, Col2ImIsExactAdjoint) {
+  const ConvGeomCase c = GetParam();
+  Conv2dGeometry g{c.channels, c.h, c.w, c.kernel, c.kernel, c.stride,
+                   c.padding};
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  Rng rng(2000 + c.kernel * 3 + c.stride * 5 + c.padding * 7);
+  Tensor x = random_tensor({2, c.channels, c.h, c.w}, rng);
+  Tensor cols;
+  im2col_into(x, g, cols);
+  Tensor y = random_tensor(cols.shape(), rng);
+  Tensor back({2, c.channels, c.h, c.w});
+  col2im_into(y, g, back);
+  // <im2col(x), y> == <x, col2im(y)> — the Conv2d backward pass is built on
+  // this identity.
+  const float lhs = dot(cols, y);
+  const float rhs = dot(x, back);
+  EXPECT_NEAR(lhs, rhs, 2e-2f * std::max(1.0f, std::abs(lhs)));
+}
+
+TEST_P(Im2ColSweep, ColumnCountMatchesGeometry) {
+  const ConvGeomCase c = GetParam();
+  Conv2dGeometry g{c.channels, c.h, c.w, c.kernel, c.kernel, c.stride,
+                   c.padding};
+  Rng rng(3);
+  Tensor x = random_tensor({3, c.channels, c.h, c.w}, rng);
+  Tensor cols;
+  im2col_into(x, g, cols);
+  EXPECT_EQ(cols.dim(0), c.channels * c.kernel * c.kernel);
+  EXPECT_EQ(cols.dim(1), 3 * g.out_h() * g.out_w());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColSweep,
+    ::testing::Values(ConvGeomCase{1, 4, 4, 1, 1, 0},
+                      ConvGeomCase{2, 6, 6, 3, 1, 1},
+                      ConvGeomCase{3, 8, 8, 3, 2, 1},
+                      ConvGeomCase{1, 7, 9, 5, 1, 2},
+                      ConvGeomCase{4, 5, 5, 3, 1, 0},
+                      ConvGeomCase{2, 10, 6, 3, 3, 0}));
+
+// ---- softmax identities -------------------------------------------------------------
+
+class SoftmaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxSweep, GradientOfLogSumExpIsSoftmax) {
+  // d/dz logΣexp(z) = softmax(z): verified numerically per random draw —
+  // this identity underlies every cross-entropy gradient in the library.
+  Rng rng(4000 + GetParam());
+  Tensor z = testing::random_tensor({1, 6}, rng, 3.0);
+  Tensor p = softmax_rows(z);
+  auto lse = [&](const Tensor& probe) {
+    Tensor lp;
+    log_softmax_rows_into(probe, lp);
+    // logΣexp = z_0 − logsoftmax(z)_0
+    return probe[0] - lp[0];
+  };
+  // z_0 − logsoftmax(z)_0 = z_0 − (z_0 − LSE) = LSE, whose gradient is
+  // exactly softmax(z).
+  Tensor numeric = testing::numeric_gradient(lse, z, 1e-3f);
+  EXPECT_LT(testing::relative_error(numeric, p), 2e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, SoftmaxSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,197 @@
+#include "deco/tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deco/tensor/check.h"
+#include "deco/tensor/rng.h"
+#include "test_util.h"
+
+namespace deco {
+namespace {
+
+using testing::expect_tensor_near;
+using testing::random_tensor;
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at2(i, kk)) * b.at2(kk, j);
+      out.at2(i, j) = static_cast<float>(acc);
+    }
+  return out;
+}
+
+TEST(OpsTest, MatmulMatchesNaive) {
+  Rng rng(7);
+  Tensor a = random_tensor({5, 7}, rng);
+  Tensor b = random_tensor({7, 3}, rng);
+  expect_tensor_near(matmul(a, b), naive_matmul(a, b), 1e-4f, 1e-4f);
+}
+
+TEST(OpsTest, MatmulTnEqualsTransposedMatmul) {
+  Rng rng(8);
+  Tensor a = random_tensor({6, 4}, rng);
+  Tensor b = random_tensor({6, 5}, rng);
+  expect_tensor_near(matmul_tn(a, b), naive_matmul(transpose2d(a), b), 1e-4f,
+                     1e-4f);
+}
+
+TEST(OpsTest, MatmulNtEqualsMatmulWithTransposed) {
+  Rng rng(9);
+  Tensor a = random_tensor({4, 6}, rng);
+  Tensor b = random_tensor({5, 6}, rng);
+  expect_tensor_near(matmul_nt(a, b), naive_matmul(a, transpose2d(b)), 1e-4f,
+                     1e-4f);
+}
+
+TEST(OpsTest, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(10);
+  Tensor a = random_tensor({3, 8}, rng);
+  expect_tensor_near(transpose2d(transpose2d(a)), a, 1e-6f, 0.0f);
+}
+
+TEST(OpsTest, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1, no padding: columns are just the flattened image.
+  Rng rng(11);
+  Tensor img = random_tensor({2, 3, 4, 4}, rng);
+  Conv2dGeometry g{3, 4, 4, 1, 1, 1, 0};
+  Tensor cols;
+  im2col_into(img, g, cols);
+  ASSERT_EQ(cols.dim(0), 3);
+  ASSERT_EQ(cols.dim(1), 2 * 16);
+  // Channel c, sample n, spatial i ↔ cols(c, n*16+i)
+  for (int64_t n = 0; n < 2; ++n)
+    for (int64_t c = 0; c < 3; ++c)
+      for (int64_t i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(cols.at2(c, n * 16 + i),
+                        img.at4(n, c, i / 4, i % 4));
+}
+
+TEST(OpsTest, Im2ColPaddingProducesZeros) {
+  Tensor img = Tensor::full({1, 1, 2, 2}, 1.0f);
+  Conv2dGeometry g{1, 2, 2, 3, 3, 1, 1};
+  Tensor cols;
+  im2col_into(img, g, cols);
+  ASSERT_EQ(cols.dim(0), 9);
+  ASSERT_EQ(cols.dim(1), 4);
+  // Top-left kernel tap of the top-left output lands in padding.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f);
+  // Center tap always hits the image.
+  EXPECT_FLOAT_EQ(cols.at2(4, 0), 1.0f);
+}
+
+// col2im must be the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST(OpsTest, Col2ImIsAdjointOfIm2Col) {
+  Rng rng(12);
+  Conv2dGeometry g{2, 5, 6, 3, 3, 1, 1};
+  Tensor x = random_tensor({2, 2, 5, 6}, rng);
+  Tensor cols;
+  im2col_into(x, g, cols);
+  Tensor y = random_tensor(cols.shape(), rng);
+  Tensor back({2, 2, 5, 6});
+  col2im_into(y, g, back);
+  EXPECT_NEAR(dot(cols, y), dot(x, back), 1e-2);
+}
+
+TEST(OpsTest, Conv2dGeometryOutputDims) {
+  Conv2dGeometry g{3, 16, 16, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 16);
+  EXPECT_EQ(g.out_w(), 16);
+  Conv2dGeometry s{3, 16, 16, 3, 3, 2, 0};
+  EXPECT_EQ(s.out_h(), 7);
+  EXPECT_EQ(s.out_w(), 7);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(13);
+  Tensor logits = random_tensor({4, 7}, rng, 5.0);
+  Tensor p = softmax_rows(logits);
+  for (int64_t i = 0; i < 4; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p.at2(i, j), 0.0f);
+      s += p.at2(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({1, 3}, {101, 102, 103});
+  expect_tensor_near(softmax_rows(a), softmax_rows(b), 1e-6f, 1e-5f);
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  Tensor a({1, 2}, {1000.0f, 0.0f});
+  Tensor p = softmax_rows(a);
+  EXPECT_NEAR(p.at2(0, 0), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p.at2(0, 1)));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(14);
+  Tensor logits = random_tensor({3, 5}, rng, 3.0);
+  Tensor p = softmax_rows(logits);
+  Tensor lp;
+  log_softmax_rows_into(logits, lp);
+  for (int64_t i = 0; i < lp.numel(); ++i)
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-4f);
+}
+
+TEST(OpsTest, ArgmaxAndMaxRows) {
+  Tensor t({2, 3}, {1, 5, 2, 7, 0, 3});
+  auto am = argmax_rows(t);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+  auto mx = max_rows(t);
+  EXPECT_FLOAT_EQ(mx[0], 5.0f);
+  EXPECT_FLOAT_EQ(mx[1], 7.0f);
+}
+
+TEST(OpsTest, CosineSimilarityProperties) {
+  Tensor a({3}, {1, 0, 0});
+  Tensor b({3}, {0, 1, 0});
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0f, 1e-6f);
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0f, 1e-6f);
+  Tensor neg({3}, {-1, 0, 0});
+  EXPECT_NEAR(cosine_similarity(a, neg), -1.0f, 1e-6f);
+  Tensor zero({3});
+  EXPECT_EQ(cosine_similarity(a, zero), 0.0f);  // degenerate case
+}
+
+TEST(OpsTest, StackAndTakeAndRow) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  Tensor s = stack({a, b});
+  ASSERT_EQ(s.ndim(), 2);
+  EXPECT_EQ(s.at2(1, 0), 3.0f);
+  Tensor taken = take(s, {1, 0, 1});
+  ASSERT_EQ(taken.dim(0), 3);
+  EXPECT_EQ(taken.at2(0, 1), 4.0f);
+  EXPECT_EQ(taken.at2(1, 0), 1.0f);
+  Tensor r = row(s, 0);
+  EXPECT_EQ(r.numel(), 2);
+  EXPECT_EQ(r[1], 2.0f);
+}
+
+TEST(OpsTest, TakeOutOfRangeThrows) {
+  Tensor s({2, 2});
+  EXPECT_THROW(take(s, {2}), Error);
+  EXPECT_THROW(take(s, {-1}), Error);
+}
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,52 @@
+#include "deco/eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "deco/tensor/check.h"
+
+namespace deco::eval {
+namespace {
+
+TEST(MarkdownTableTest, RendersHeaderSeparatorAndRows) {
+  MarkdownTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), "| a | b |\n|---|---|\n| 1 | 2 |\n| x | y |\n");
+}
+
+TEST(MarkdownTableTest, RejectsWidthMismatch) {
+  MarkdownTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(EnvTest, IntAndStringFallbacks) {
+  unsetenv("DECO_TEST_KNOB");
+  EXPECT_EQ(env_int("DECO_TEST_KNOB", 7), 7);
+  EXPECT_EQ(env_str("DECO_TEST_KNOB", "dflt"), "dflt");
+  setenv("DECO_TEST_KNOB", "42", 1);
+  EXPECT_EQ(env_int("DECO_TEST_KNOB", 7), 42);
+  EXPECT_EQ(env_str("DECO_TEST_KNOB", "dflt"), "42");
+  unsetenv("DECO_TEST_KNOB");
+}
+
+TEST(EnvTest, FullScaleSwitch) {
+  unsetenv("DECO_BENCH_SCALE");
+  EXPECT_FALSE(full_scale());
+  setenv("DECO_BENCH_SCALE", "full", 1);
+  EXPECT_TRUE(full_scale());
+  unsetenv("DECO_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace deco::eval

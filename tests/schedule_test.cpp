@@ -1,0 +1,65 @@
+#include "deco/nn/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/tensor/check.h"
+
+namespace deco::nn {
+namespace {
+
+TEST(CosineScheduleTest, EndpointsAndMidpoint) {
+  CosineSchedule s(1.0f, 100, 0.0f);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_NEAR(s.at(50), 0.5f, 1e-5f);
+  EXPECT_NEAR(s.at(100), 0.0f, 1e-6f);
+}
+
+TEST(CosineScheduleTest, RespectsMinLr) {
+  CosineSchedule s(1.0f, 10, 0.2f);
+  EXPECT_NEAR(s.at(10), 0.2f, 1e-6f);
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_GE(s.at(i), 0.2f - 1e-6f);
+    EXPECT_LE(s.at(i), 1.0f + 1e-6f);
+  }
+}
+
+TEST(CosineScheduleTest, MonotoneNonIncreasing) {
+  CosineSchedule s(0.5f, 37);
+  float prev = s.at(0);
+  for (int i = 1; i <= 37; ++i) {
+    EXPECT_LE(s.at(i), prev + 1e-7f);
+    prev = s.at(i);
+  }
+}
+
+TEST(CosineScheduleTest, ClampsOutOfRangeSteps) {
+  CosineSchedule s(1.0f, 10);
+  EXPECT_FLOAT_EQ(s.at(-5), s.at(0));
+  EXPECT_FLOAT_EQ(s.at(999), s.at(10));
+}
+
+TEST(CosineScheduleTest, RejectsBadArgs) {
+  EXPECT_THROW(CosineSchedule(1.0f, 0), Error);
+  EXPECT_THROW(CosineSchedule(0.1f, 10, 0.5f), Error);
+}
+
+TEST(StepScheduleTest, DecaysByGammaEveryStepSize) {
+  StepSchedule s(1.0f, 10, 0.1f);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+  EXPECT_NEAR(s.at(10), 0.1f, 1e-6f);
+  EXPECT_NEAR(s.at(25), 0.01f, 1e-7f);
+}
+
+TEST(StepScheduleTest, NegativeStepsClampToBase) {
+  StepSchedule s(2.0f, 5);
+  EXPECT_FLOAT_EQ(s.at(-3), 2.0f);
+}
+
+TEST(StepScheduleTest, RejectsBadArgs) {
+  EXPECT_THROW(StepSchedule(1.0f, 0), Error);
+  EXPECT_THROW(StepSchedule(1.0f, 5, 0.0f), Error);
+}
+
+}  // namespace
+}  // namespace deco::nn

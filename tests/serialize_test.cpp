@@ -1,0 +1,171 @@
+#include "deco/tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "deco/nn/checkpoint.h"
+#include "deco/nn/convnet.h"
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, StreamRoundTrip) {
+  Rng rng(1);
+  Tensor t = deco::testing::random_tensor({2, 3, 4}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(back.l1_distance(t), 0.0f);
+}
+
+TEST(SerializeTest, MultipleTensorsInOneStream) {
+  Rng rng(2);
+  Tensor a = deco::testing::random_tensor({5}, rng);
+  Tensor b = deco::testing::random_tensor({2, 2}, rng);
+  std::stringstream ss;
+  write_tensor(ss, a);
+  write_tensor(ss, b);
+  Tensor a2 = read_tensor(ss);
+  Tensor b2 = read_tensor(ss);
+  EXPECT_EQ(a2.l1_distance(a), 0.0f);
+  EXPECT_EQ(b2.l1_distance(b), 0.0f);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(3);
+  Tensor t = deco::testing::random_tensor({4, 4}, rng);
+  const std::string path = temp_path("tensor.bin");
+  save_tensor(path, t);
+  Tensor back = load_tensor(path);
+  EXPECT_EQ(back.l1_distance(t), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is definitely not a tensor";
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(SerializeTest, RejectsTruncatedData) {
+  Rng rng(4);
+  Tensor t = deco::testing::random_tensor({100}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream trunc(bytes);
+  EXPECT_THROW(read_tensor(trunc), Error);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensor("/nonexistent/dir/t.bin"), Error);
+}
+
+TEST(PpmTest, WritesValidHeaderAndSize) {
+  Tensor img({3, 2, 4});
+  img.fill(0.5f);
+  const std::string path = temp_path("img.ppm");
+  write_ppm(path, img);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic, dims, maxval;
+  std::getline(is, magic);
+  std::getline(is, dims);
+  std::getline(is, maxval);
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(dims, "4 2");
+  EXPECT_EQ(maxval, "255");
+  // 2*4 pixels × 3 bytes of payload.
+  std::string payload((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(payload.size(), 24u);
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 128);
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, GrayscaleUsesP5) {
+  Tensor img({1, 2, 2});
+  const std::string path = temp_path("img.pgm");
+  write_ppm(path, img);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  std::getline(is, magic);
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, RejectsBadChannelCount) {
+  Tensor img({2, 2, 2});
+  EXPECT_THROW(write_ppm(temp_path("bad.ppm"), img), Error);
+}
+
+TEST(CheckpointTest, ModelRoundTripReproducesOutputs) {
+  Rng rng(5);
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.image_h = cfg.image_w = 8;
+  cfg.num_classes = 3;
+  cfg.width = 4;
+  cfg.depth = 2;
+  nn::ConvNet model(cfg, rng);
+  Tensor x = deco::testing::random_tensor({2, 2, 8, 8}, rng);
+  Tensor y_before = model.forward(x);
+
+  const std::string path = temp_path("model.ckpt");
+  nn::save_checkpoint(path, model);
+
+  model.reinitialize(rng);
+  EXPECT_GT(model.forward(x).l1_distance(y_before), 1e-4f);
+
+  nn::load_checkpoint(path, model);
+  Tensor y_after = model.forward(x);
+  EXPECT_LT(y_after.l1_distance(y_before), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMismatchedArchitecture) {
+  Rng rng(6);
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.image_h = cfg.image_w = 8;
+  cfg.num_classes = 3;
+  cfg.width = 4;
+  cfg.depth = 2;
+  nn::ConvNet model(cfg, rng);
+  const std::string path = temp_path("model2.ckpt");
+  nn::save_checkpoint(path, model);
+
+  cfg.width = 8;  // different architecture
+  nn::ConvNet other(cfg, rng);
+  EXPECT_THROW(nn::load_checkpoint(path, other), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsWrongFileKind) {
+  Rng rng(7);
+  Tensor t = deco::testing::random_tensor({3}, rng);
+  const std::string path = temp_path("plain_tensor.bin");
+  save_tensor(path, t);
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.image_h = cfg.image_w = 8;
+  cfg.num_classes = 3;
+  cfg.width = 4;
+  cfg.depth = 1;
+  nn::ConvNet model(cfg, rng);
+  EXPECT_THROW(nn::load_checkpoint(path, model), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,257 @@
+// Tests for the learnable-soft-label extension: the soft-target loss, the
+// buffer's label-logit machinery, the soft matcher and the end-to-end learner
+// path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deco/condense/grad_distance.h"
+#include "deco/condense/grad_utils.h"
+#include "deco/condense/matcher.h"
+#include "deco/condense/method.h"
+#include "deco/core/learner.h"
+#include "deco/data/stream.h"
+#include "deco/data/world.h"
+#include "deco/nn/layers.h"
+#include "deco/nn/loss.h"
+#include "deco/nn/sequential.h"
+#include "deco/tensor/check.h"
+#include "deco/tensor/ops.h"
+#include "test_util.h"
+
+namespace deco {
+namespace {
+
+using deco::testing::numeric_gradient;
+using deco::testing::random_tensor;
+using deco::testing::relative_error;
+
+TEST(SoftCrossEntropyTest, MatchesHardCeOnOneHotTargets) {
+  Rng rng(1);
+  Tensor logits = random_tensor({3, 5}, rng, 2.0);
+  const std::vector<int64_t> labels{0, 4, 2};
+  Tensor onehot({3, 5});
+  for (int64_t i = 0; i < 3; ++i)
+    onehot.at2(i, labels[static_cast<size_t>(i)]) = 1.0f;
+  auto hard = nn::weighted_cross_entropy(logits, labels);
+  auto soft = nn::soft_cross_entropy(logits, onehot);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-5f);
+  deco::testing::expect_tensor_near(hard.grad_logits, soft.grad_logits, 1e-6f,
+                                    1e-5f);
+}
+
+TEST(SoftCrossEntropyTest, GradCheckLogitsAndTargets) {
+  Rng rng(2);
+  Tensor logits = random_tensor({3, 4}, rng, 1.5);
+  Tensor targets({3, 4});
+  rng.fill_uniform(targets, 0.05, 0.95);
+  const std::vector<float> weights{1.0f, 0.5f, 2.0f};
+  auto res = nn::soft_cross_entropy(logits, targets, weights);
+
+  auto loss_z = [&](const Tensor& probe) {
+    return nn::soft_cross_entropy(probe, targets, weights).loss;
+  };
+  EXPECT_LT(relative_error(res.grad_logits,
+                           numeric_gradient(loss_z, logits, 1e-3f)),
+            1e-2f);
+
+  auto loss_q = [&](const Tensor& probe) {
+    return nn::soft_cross_entropy(logits, probe, weights).loss;
+  };
+  EXPECT_LT(relative_error(res.grad_targets,
+                           numeric_gradient(loss_q, targets, 1e-3f)),
+            1e-2f);
+}
+
+TEST(SoftCrossEntropyTest, RejectsShapeMismatch) {
+  Tensor logits({2, 3});
+  Tensor targets({2, 4});
+  EXPECT_THROW(nn::soft_cross_entropy(logits, targets), Error);
+}
+
+TEST(SoftBufferTest, InitialTargetsPeakAtOwnClass) {
+  condense::SyntheticBuffer buf(4, 2, 1, 4, 4);
+  buf.enable_soft_labels(0.9f);
+  std::vector<int64_t> all;
+  for (int64_t r = 0; r < buf.size(); ++r) all.push_back(r);
+  Tensor q = buf.soft_targets(all);
+  for (int64_t r = 0; r < buf.size(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 4; ++c) sum += q.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_NEAR(q.at2(r, buf.label(r)), 0.9f, 1e-4f);
+  }
+}
+
+TEST(SoftBufferTest, DisabledByDefault) {
+  condense::SyntheticBuffer buf(2, 1, 1, 2, 2);
+  EXPECT_FALSE(buf.soft_labels_enabled());
+  EXPECT_THROW(buf.soft_targets({0}), Error);
+}
+
+TEST(SoftBufferTest, LabelGradChainsThroughSoftmax) {
+  condense::SyntheticBuffer buf(3, 1, 1, 2, 2);
+  buf.enable_soft_labels(0.8f);
+  // Numeric check: L(z) = Σ q(z)·t for an arbitrary t must match the chained
+  // gradient produced by scatter_add_label_grad_from_targets.
+  Rng rng(3);
+  Tensor t = random_tensor({1, 3}, rng);
+  const std::vector<int64_t> rows{1};
+
+  buf.label_grads().zero();
+  buf.scatter_add_label_grad_from_targets(rows, t, 1.0f);
+
+  Tensor analytic({3});
+  for (int64_t c = 0; c < 3; ++c) analytic[c] = buf.label_grads().at2(1, c);
+
+  auto loss = [&](const Tensor& probe_logits_row) {
+    Tensor saved = buf.label_logits();
+    for (int64_t c = 0; c < 3; ++c)
+      buf.label_logits().at2(1, c) = probe_logits_row[c];
+    Tensor q = buf.soft_targets(rows);
+    buf.label_logits() = saved;
+    float acc = 0.0f;
+    for (int64_t c = 0; c < 3; ++c) acc += q.at2(0, c) * t.at2(0, c);
+    return acc;
+  };
+  Tensor z0({3});
+  for (int64_t c = 0; c < 3; ++c) z0[c] = buf.label_logits().at2(1, c);
+  Tensor numeric = numeric_gradient(loss, z0, 1e-3f);
+  EXPECT_LT(relative_error(analytic, numeric), 1e-2f);
+}
+
+TEST(SoftMatcherTest, TargetGradientMatchesNumericOnSmoothModel) {
+  Rng rng(4);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Conv2d>(1, 4, 3, 1, 1, rng));
+  model.add(std::make_unique<nn::InstanceNorm2d>(4));
+  model.add(std::make_unique<nn::AvgPool2d>(2));
+  model.add(std::make_unique<nn::Flatten>());
+  model.add(std::make_unique<nn::Linear>(16, 3, rng));
+
+  Tensor x_syn = random_tensor({2, 1, 4, 4}, rng, 0.5);
+  Tensor q_syn({2, 3});
+  rng.fill_uniform(q_syn, 0.1, 0.9);
+  Tensor x_real = random_tensor({4, 1, 4, 4}, rng, 0.5);
+  const std::vector<int64_t> y_real{0, 1, 2, 0};
+
+  condense::GradientMatcher matcher(model);
+  auto res = matcher.match_soft(x_syn, q_syn, x_real, y_real, {});
+  EXPECT_EQ(res.grad_targets.shape(), q_syn.shape());
+
+  // Direct numeric gradient of D with respect to the soft targets.
+  auto dist = [&](const Tensor& probe_q) {
+    model.zero_grad();
+    auto ce_r = nn::weighted_cross_entropy(model.forward(x_real), y_real);
+    model.backward(ce_r.grad_logits);
+    condense::GradVec g_real = condense::clone_grads(model);
+    model.zero_grad();
+    auto ce_s = nn::soft_cross_entropy(model.forward(x_syn), probe_q);
+    model.backward(ce_s.grad_logits);
+    condense::GradVec g_syn = condense::clone_grads(model);
+    model.zero_grad();
+    return condense::gradient_distance_value(g_syn, g_real);
+  };
+  Tensor numeric = numeric_gradient(dist, q_syn, 1e-2f);
+  EXPECT_LT(relative_error(res.grad_targets, numeric), 2e-2f);
+}
+
+TEST(SoftCondenserTest, UpdatesLabelsOfActiveRowsOnly) {
+  data::DatasetSpec spec = data::icub1_spec();
+  spec.num_classes = 4;
+  data::ProceduralImageWorld world(spec, 5);
+  data::Dataset labeled = world.make_labeled_set(3, 1);
+
+  nn::ConvNetConfig mc;
+  mc.in_channels = 3;
+  mc.image_h = mc.image_w = 16;
+  mc.num_classes = 4;
+  mc.width = 8;
+  mc.depth = 2;
+
+  Rng rng(6);
+  condense::SyntheticBuffer buf(4, 2, 3, 16, 16);
+  buf.init_from_dataset(labeled, rng);
+  buf.enable_soft_labels();
+  nn::ConvNet deployed(mc, rng);
+
+  Tensor before = buf.label_logits();
+
+  condense::DecoCondenserConfig cfg;
+  cfg.iterations = 3;
+  cfg.learn_soft_labels = true;
+  cfg.feature_discrimination = false;
+  condense::DecoCondenser cond(mc, cfg, 7);
+
+  const std::vector<int64_t> active{1};
+  Tensor x_real({6, 3, 16, 16});
+  std::vector<int64_t> y_real(6, 1);
+  for (int64_t i = 0; i < 6; ++i) {
+    Tensor img = world.render(1, 0, 0, 40 + i);
+    std::copy(img.data(), img.data() + img.numel(),
+              x_real.data() + i * img.numel());
+  }
+  condense::CondenseContext ctx;
+  ctx.buffer = &buf;
+  ctx.x_real = &x_real;
+  ctx.y_real = &y_real;
+  ctx.w_real = nullptr;
+  ctx.active_classes = &active;
+  ctx.deployed_model = &deployed;
+  ctx.rng = &rng;
+  cond.condense(ctx);
+
+  for (int64_t r = 0; r < buf.size(); ++r) {
+    float delta = 0.0f;
+    for (int64_t c = 0; c < 4; ++c)
+      delta += std::abs(before.at2(r, c) - buf.label_logits().at2(r, c));
+    if (buf.label(r) == 1) {
+      EXPECT_GT(delta, 0.0f) << "active row " << r << " labels unchanged";
+    } else {
+      EXPECT_EQ(delta, 0.0f) << "inactive row " << r << " labels changed";
+    }
+  }
+  // Targets remain valid distributions.
+  std::vector<int64_t> all;
+  for (int64_t r = 0; r < buf.size(); ++r) all.push_back(r);
+  Tensor q = buf.soft_targets(all);
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    EXPECT_GE(q[i], 0.0f);
+    EXPECT_LE(q[i], 1.0f);
+  }
+}
+
+TEST(SoftLearnerTest, EndToEndStreamRuns) {
+  data::ProceduralImageWorld world(data::icub1_spec(), 8);
+  data::Dataset labeled = world.make_labeled_set(4, 1);
+  nn::ConvNetConfig mc;
+  mc.in_channels = 3;
+  mc.image_h = mc.image_w = 16;
+  mc.num_classes = 10;
+  mc.width = 8;
+  mc.depth = 2;
+  Rng rng(9);
+  nn::ConvNet model(mc, rng);
+
+  core::DecoConfig cfg;
+  cfg.ipc = 2;
+  cfg.beta = 2;
+  cfg.model_update_epochs = 3;
+  cfg.condenser.iterations = 2;
+  cfg.condenser.learn_soft_labels = true;
+  core::DecoLearner learner(model, cfg, 10);
+  learner.init_buffer_from(labeled);
+  EXPECT_TRUE(learner.buffer().soft_labels_enabled());
+
+  data::StreamConfig sc;
+  sc.stc = 16;
+  sc.segment_size = 16;
+  sc.total_segments = 4;
+  data::TemporalStream stream(world, sc, 11);
+  data::Segment seg;
+  while (stream.next(seg)) learner.observe_segment(seg.images);
+  EXPECT_EQ(learner.segments_seen(), 4);
+}
+
+}  // namespace
+}  // namespace deco

@@ -1,0 +1,142 @@
+#include "deco/data/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/tensor/check.h"
+
+namespace deco::data {
+namespace {
+
+TEST(StreamTest, SegmentsHaveConfiguredShape) {
+  ProceduralImageWorld w(core50_spec(), 1);
+  StreamConfig cfg;
+  cfg.segment_size = 16;
+  cfg.total_segments = 3;
+  TemporalStream s(w, cfg, 7);
+  Segment seg;
+  int count = 0;
+  while (s.next(seg)) {
+    EXPECT_EQ(seg.images.shape(), (std::vector<int64_t>{16, 3, 16, 16}));
+    EXPECT_EQ(seg.true_labels.size(), 16u);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.samples_emitted(), 48);
+}
+
+TEST(StreamTest, ExhaustsAfterTotalSegments) {
+  ProceduralImageWorld w(icub1_spec(), 2);
+  StreamConfig cfg;
+  cfg.total_segments = 2;
+  TemporalStream s(w, cfg, 8);
+  Segment seg;
+  EXPECT_TRUE(s.next(seg));
+  EXPECT_TRUE(s.next(seg));
+  EXPECT_FALSE(s.next(seg));
+}
+
+TEST(StreamTest, LabelsAreValidClasses) {
+  ProceduralImageWorld w(cifar100_spec(), 3);
+  StreamConfig cfg;
+  cfg.total_segments = 5;
+  cfg.video_mode = false;
+  TemporalStream s(w, cfg, 9);
+  Segment seg;
+  while (s.next(seg))
+    for (int64_t y : seg.true_labels) {
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, 20);
+    }
+}
+
+TEST(StreamTest, EmpiricalStcTracksTarget) {
+  ProceduralImageWorld w(core50_spec(), 4);
+  for (int64_t stc : {8, 32, 128}) {
+    StreamConfig cfg;
+    cfg.stc = stc;
+    cfg.segment_size = 32;
+    cfg.total_segments = 60;
+    TemporalStream s(w, cfg, 10);
+    std::vector<int64_t> all;
+    Segment seg;
+    while (s.next(seg))
+      all.insert(all.end(), seg.true_labels.begin(), seg.true_labels.end());
+    const double emp = TemporalStream::empirical_stc(all);
+    // Run-length jitter is ±50%, so allow a generous band around the target.
+    EXPECT_GT(emp, 0.5 * static_cast<double>(stc));
+    EXPECT_LT(emp, 1.8 * static_cast<double>(stc));
+  }
+}
+
+TEST(StreamTest, DeterministicGivenSeed) {
+  ProceduralImageWorld w(core50_spec(), 5);
+  StreamConfig cfg;
+  cfg.total_segments = 2;
+  TemporalStream a(w, cfg, 11), b(w, cfg, 11);
+  Segment sa, sb;
+  a.next(sa);
+  b.next(sb);
+  EXPECT_EQ(sa.true_labels, sb.true_labels);
+  EXPECT_EQ(sa.images.l1_distance(sb.images), 0.0f);
+}
+
+TEST(StreamTest, DifferentSeedsDiffer) {
+  ProceduralImageWorld w(core50_spec(), 6);
+  StreamConfig cfg;
+  cfg.total_segments = 4;
+  TemporalStream a(w, cfg, 1), b(w, cfg, 2);
+  Segment sa, sb;
+  std::vector<int64_t> la, lb;
+  while (a.next(sa)) la.insert(la.end(), sa.true_labels.begin(), sa.true_labels.end());
+  while (b.next(sb)) lb.insert(lb.end(), sb.true_labels.begin(), sb.true_labels.end());
+  EXPECT_NE(la, lb);
+}
+
+TEST(StreamTest, VideoModeFramesAreTemporallySmooth) {
+  // Within a run, consecutive samples should be near-identical frames.
+  ProceduralImageWorld w(core50_spec(), 7);
+  StreamConfig cfg;
+  cfg.stc = 64;
+  cfg.segment_size = 32;
+  cfg.total_segments = 1;
+  cfg.video_mode = true;
+  TemporalStream s(w, cfg, 12);
+  Segment seg;
+  ASSERT_TRUE(s.next(seg));
+  const int64_t per = 3 * 16 * 16;
+  double adjacent = 0.0;
+  int n = 0;
+  for (int64_t i = 0; i + 1 < 32; ++i) {
+    if (seg.true_labels[static_cast<size_t>(i)] !=
+        seg.true_labels[static_cast<size_t>(i + 1)])
+      continue;
+    Tensor a({3, 16, 16}), b({3, 16, 16});
+    std::copy(seg.images.data() + i * per, seg.images.data() + (i + 1) * per,
+              a.data());
+    std::copy(seg.images.data() + (i + 1) * per,
+              seg.images.data() + (i + 2) * per, b.data());
+    adjacent += a.l1_distance(b);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // Average adjacent-frame distance should be small relative to image scale
+  // (768 pixels in [0,1]).
+  EXPECT_LT(adjacent / n, 120.0);
+}
+
+TEST(StreamTest, EmpiricalStcHelper) {
+  EXPECT_EQ(TemporalStream::empirical_stc({}), 0.0);
+  EXPECT_EQ(TemporalStream::empirical_stc({1, 1, 1, 1}), 4.0);
+  EXPECT_EQ(TemporalStream::empirical_stc({1, 2, 3, 4}), 1.0);
+  EXPECT_EQ(TemporalStream::empirical_stc({1, 1, 2, 2}), 2.0);
+}
+
+TEST(StreamTest, RejectsBadConfig) {
+  ProceduralImageWorld w(core50_spec(), 8);
+  StreamConfig cfg;
+  cfg.stc = 0;
+  EXPECT_THROW(TemporalStream(w, cfg, 1), Error);
+}
+
+}  // namespace
+}  // namespace deco::data

@@ -1,0 +1,61 @@
+// Shared helpers for the test suite: numeric gradient checking and tensor
+// comparison with readable failure output.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "deco/tensor/rng.h"
+#include "deco/tensor/tensor.h"
+
+namespace deco::testing {
+
+/// Central-difference numeric gradient of a scalar function of a tensor.
+inline Tensor numeric_gradient(const std::function<float(const Tensor&)>& f,
+                               const Tensor& x, float eps = 1e-3f) {
+  Tensor grad(x.shape());
+  Tensor probe = x;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    const float fp = f(probe);
+    probe[i] = orig - eps;
+    const float fm = f(probe);
+    probe[i] = orig;
+    grad[i] = (fp - fm) / (2.0f * eps);
+  }
+  return grad;
+}
+
+/// Asserts elementwise closeness with a combined absolute/relative tolerance.
+inline void expect_tensor_near(const Tensor& actual, const Tensor& expected,
+                               float atol = 1e-3f, float rtol = 1e-2f) {
+  ASSERT_EQ(actual.numel(), expected.numel());
+  for (int64_t i = 0; i < actual.numel(); ++i) {
+    const float a = actual[i];
+    const float e = expected[i];
+    const float tol = atol + rtol * std::abs(e);
+    EXPECT_NEAR(a, e, tol) << "at flat index " << i;
+  }
+}
+
+/// Relative error between two gradients (‖a−b‖/max(‖a‖,‖b‖,eps)); robust for
+/// comparing analytic vs numeric gradients where per-element tolerance is too
+/// strict for near-zero entries.
+inline float relative_error(const Tensor& a, const Tensor& b) {
+  Tensor diff = a - b;
+  const float na = a.norm(), nb = b.norm();
+  const float denom = std::max(std::max(na, nb), 1e-8f);
+  return diff.norm() / denom;
+}
+
+inline Tensor random_tensor(std::vector<int64_t> shape, Rng& rng,
+                            double stddev = 1.0) {
+  Tensor t(std::move(shape));
+  rng.fill_normal(t, 0.0, stddev);
+  return t;
+}
+
+}  // namespace deco::testing

@@ -1,0 +1,97 @@
+// Property sweeps over every dataset preset: invariants that must hold for
+// any world the library ships (determinism, pixel validity, class balance,
+// separability, stream STC tracking). Parameterized so each preset is a
+// distinct test case.
+#include <gtest/gtest.h>
+
+#include "deco/data/stream.h"
+#include "deco/data/world.h"
+#include "test_util.h"
+
+namespace deco::data {
+namespace {
+
+DatasetSpec spec_by_index(int i) {
+  switch (i) {
+    case 0: return icub1_spec();
+    case 1: return core50_spec();
+    case 2: return cifar100_spec();
+    case 3: return imagenet10_spec();
+    default: return cifar10_spec();
+  }
+}
+
+class WorldPresetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldPresetSweep, RenderingIsDeterministicAndBounded) {
+  const DatasetSpec spec = spec_by_index(GetParam());
+  ProceduralImageWorld w(spec, 1234);
+  for (int64_t cls = 0; cls < std::min<int64_t>(spec.num_classes, 6); ++cls) {
+    Tensor a = w.render(cls, 0, 0, 5);
+    Tensor b = w.render(cls, 0, 0, 5);
+    EXPECT_EQ(a.l1_distance(b), 0.0f);
+    EXPECT_GE(a.min(), 0.0f);
+    EXPECT_LE(a.max(), 1.0f);
+    EXPECT_EQ(a.shape(),
+              (std::vector<int64_t>{spec.channels, spec.height, spec.width}));
+  }
+}
+
+TEST_P(WorldPresetSweep, ClassesAreSeparableOnAverage) {
+  const DatasetSpec spec = spec_by_index(GetParam());
+  ProceduralImageWorld w(spec, 99);
+  // Mean within-class distance across instances must be below the mean
+  // cross-class distance — otherwise no model could learn the world.
+  double within = 0.0, across = 0.0;
+  int n = 0;
+  const int64_t limit = std::min<int64_t>(spec.num_classes, 8);
+  for (int64_t cls = 0; cls + 1 < limit; ++cls) {
+    Tensor a = w.render(cls, 0, 0, 3);
+    Tensor b = w.render(cls, std::min<int64_t>(1, spec.instances_per_class - 1),
+                        0, 77);
+    // Cross-group class: skip the similarity partner.
+    const int64_t other = (cls + spec.similarity_group) % spec.num_classes;
+    Tensor c = w.render(other, 0, 0, 3);
+    within += a.l1_distance(b);
+    across += a.l1_distance(c);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(within / n, across / n);
+}
+
+TEST_P(WorldPresetSweep, LabeledAndTestSetsAreBalancedAndDisjointish) {
+  const DatasetSpec spec = spec_by_index(GetParam());
+  ProceduralImageWorld w(spec, 5);
+  Dataset labeled = w.make_labeled_set(3, 1);
+  Dataset test = w.make_test_set(3, 1);
+  EXPECT_EQ(labeled.size(), 3 * spec.num_classes);
+  EXPECT_EQ(test.size(), 3 * spec.num_classes);
+  // Reserved frame ranges differ → images are not bytewise identical.
+  EXPECT_GT(labeled.image(0).l1_distance(test.image(0)), 1e-4f);
+}
+
+TEST_P(WorldPresetSweep, StreamTracksTargetStc) {
+  const DatasetSpec spec = spec_by_index(GetParam());
+  ProceduralImageWorld w(spec, 6);
+  StreamConfig cfg;
+  cfg.stc = 24;
+  cfg.segment_size = 24;
+  cfg.total_segments = 40;
+  TemporalStream s(w, cfg, 7);
+  std::vector<int64_t> labels;
+  Segment seg;
+  while (s.next(seg))
+    labels.insert(labels.end(), seg.true_labels.begin(), seg.true_labels.end());
+  const double emp = TemporalStream::empirical_stc(labels);
+  EXPECT_GT(emp, 12.0);
+  EXPECT_LT(emp, 44.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, WorldPresetSweep, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return spec_by_index(info.param).name;
+                         });
+
+}  // namespace
+}  // namespace deco::data

@@ -1,0 +1,140 @@
+#include "deco/data/world.h"
+
+#include <gtest/gtest.h>
+
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco::data {
+namespace {
+
+TEST(WorldTest, SpecPresetsMatchPaperStructure) {
+  EXPECT_EQ(icub1_spec().num_classes, 10);
+  EXPECT_EQ(icub1_spec().instances_per_class, 4);
+  EXPECT_EQ(core50_spec().num_classes, 10);
+  EXPECT_EQ(core50_spec().environments, 11);  // CORe50's 11 sessions
+  EXPECT_EQ(core50_spec().instances_per_class, 5);
+  EXPECT_GT(cifar100_spec().num_classes, 10);  // many-class regime
+  EXPECT_EQ(imagenet10_spec().height, 32);     // higher resolution
+  EXPECT_EQ(cifar10_spec().num_classes, 10);
+}
+
+TEST(WorldTest, RenderingIsDeterministic) {
+  ProceduralImageWorld w(core50_spec(), 42);
+  Tensor a = w.render(3, 1, 2, 7);
+  Tensor b = w.render(3, 1, 2, 7);
+  EXPECT_EQ(a.l1_distance(b), 0.0f);
+}
+
+TEST(WorldTest, DifferentSeedsDifferentWorlds) {
+  ProceduralImageWorld w1(core50_spec(), 1);
+  ProceduralImageWorld w2(core50_spec(), 2);
+  EXPECT_GT(w1.render(0, 0, 0, 0).l1_distance(w2.render(0, 0, 0, 0)), 1.0f);
+}
+
+TEST(WorldTest, PixelsInUnitRange) {
+  ProceduralImageWorld w(icub1_spec(), 3);
+  for (int64_t cls = 0; cls < 10; ++cls) {
+    Tensor img = w.render(cls, 0, 0, 0);
+    EXPECT_GE(img.min(), 0.0f);
+    EXPECT_LE(img.max(), 1.0f);
+  }
+}
+
+TEST(WorldTest, ImageShapeMatchesSpec) {
+  ProceduralImageWorld w(imagenet10_spec(), 4);
+  Tensor img = w.render(0, 0, 0, 0);
+  EXPECT_EQ(img.shape(), (std::vector<int64_t>{3, 32, 32}));
+}
+
+TEST(WorldTest, ConsecutiveFramesAreSimilar) {
+  // Temporal smoothness: adjacent frames of one instance must be much closer
+  // than frames of different classes.
+  ProceduralImageWorld w(core50_spec(), 5);
+  const Tensor f0 = w.render(2, 1, 0, 10);
+  const Tensor f1 = w.render(2, 1, 0, 11);
+  const Tensor other = w.render(7, 1, 0, 10);
+  EXPECT_LT(f0.l1_distance(f1), 0.5f * f0.l1_distance(other));
+}
+
+TEST(WorldTest, SameClassInstancesCloserThanCrossClassOnAverage) {
+  ProceduralImageWorld w(core50_spec(), 6);
+  double within = 0.0, across = 0.0;
+  int n = 0;
+  for (int64_t cls = 0; cls < 4; ++cls) {
+    Tensor a = w.render(cls, 0, 0, 0);
+    Tensor b = w.render(cls, 1, 0, 0);
+    Tensor c = w.render((cls + 5) % 10, 0, 0, 0);
+    within += a.l1_distance(b);
+    across += a.l1_distance(c);
+    ++n;
+  }
+  EXPECT_LT(within / n, across / n);
+}
+
+TEST(WorldTest, SimilarityGroupsAreMoreConfusable) {
+  // Classes 2g and 2g+1 share a shape family; they should be closer to each
+  // other than to a class from another group, averaged over several groups.
+  DatasetSpec spec = cifar10_spec();
+  ProceduralImageWorld w(spec, 7);
+  double in_group = 0.0, out_group = 0.0;
+  int n = 0;
+  for (int64_t g = 0; g < 5; ++g) {
+    const int64_t a = 2 * g, b = 2 * g + 1, c = (2 * g + 2) % 10;
+    Tensor ia = w.render(a, 0, 0, 0);
+    in_group += ia.l1_distance(w.render(b, 0, 0, 0));
+    out_group += ia.l1_distance(w.render(c, 0, 0, 0));
+    ++n;
+  }
+  EXPECT_LT(in_group / n, out_group / n);
+}
+
+TEST(WorldTest, EnvironmentsChangeAppearance) {
+  ProceduralImageWorld w(core50_spec(), 8);
+  Tensor e0 = w.render(0, 0, 0, 0);
+  Tensor e1 = w.render(0, 0, 5, 0);
+  EXPECT_GT(e0.l1_distance(e1), 1.0f);
+}
+
+TEST(WorldTest, LabeledSetHasBalancedClasses) {
+  ProceduralImageWorld w(icub1_spec(), 9);
+  Dataset ds = w.make_labeled_set(6, 1);
+  EXPECT_EQ(ds.size(), 60);
+  for (int64_t cls = 0; cls < 10; ++cls)
+    EXPECT_EQ(static_cast<int64_t>(ds.indices_of_class(cls).size()), 6);
+}
+
+TEST(WorldTest, TestSetDisjointSeedsProduceDifferentImages) {
+  ProceduralImageWorld w(icub1_spec(), 10);
+  Dataset a = w.make_test_set(2, 1);
+  Dataset b = w.make_test_set(2, 2);
+  EXPECT_GT(a.image(0).l1_distance(b.image(0)), 1e-3f);
+}
+
+TEST(WorldTest, RejectsOutOfRangeEntities) {
+  ProceduralImageWorld w(icub1_spec(), 11);
+  EXPECT_THROW(w.render(10, 0, 0, 0), Error);
+  EXPECT_THROW(w.render(0, 99, 0, 0), Error);
+  EXPECT_THROW(w.render(0, 0, 99, 0), Error);
+}
+
+TEST(DatasetTest, AddAndBatch) {
+  Dataset ds(3, 4, 4);
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i)
+    ds.add(deco::testing::random_tensor({3, 4, 4}, rng), i % 2, i, 0);
+  EXPECT_EQ(ds.size(), 5);
+  Tensor b = ds.batch({0, 2, 4});
+  EXPECT_EQ(b.shape(), (std::vector<int64_t>{3, 3, 4, 4}));
+  auto labels = ds.batch_labels({1, 3});
+  EXPECT_EQ(labels, (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(ds.indices_of_class(0), (std::vector<int64_t>{0, 2, 4}));
+}
+
+TEST(DatasetTest, RejectsWrongImageShape) {
+  Dataset ds(3, 4, 4);
+  EXPECT_THROW(ds.add(Tensor({3, 5, 5}), 0), Error);
+}
+
+}  // namespace
+}  // namespace deco::data

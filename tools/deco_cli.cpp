@@ -1,0 +1,250 @@
+// deco_cli — run any experiment of the reproduction from the command line.
+//
+// Examples:
+//   deco_cli --method deco --dataset core50 --ipc 10 --segments 20
+//   deco_cli --method fifo --dataset cifar100 --ipc 5 --seeds 3
+//   deco_cli --method deco --dataset icub1 --dump-buffer /tmp/buf \
+//            --save-model /tmp/model.ckpt
+//
+// `--help` prints the full flag list. All flags have the bench-suite quick
+// defaults, so a bare `deco_cli` runs a small DECO experiment on CORe50.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deco/core/learner.h"
+#include "deco/data/stream.h"
+#include "deco/eval/metrics.h"
+#include "deco/eval/runner.h"
+#include "deco/nn/checkpoint.h"
+#include "deco/tensor/check.h"
+#include "deco/tensor/serialize.h"
+
+using namespace deco;
+
+namespace {
+
+struct CliOptions {
+  std::string method = "deco";
+  std::string dataset = "core50";
+  int64_t ipc = 10;
+  int64_t segments = 10;
+  int64_t segment_size = 32;
+  int64_t stc = 32;
+  int64_t seeds = 1;
+  uint64_t seed = 1;
+  int64_t epochs = 10;       // model-update epochs
+  int64_t beta = 10;
+  float alpha = 0.1f;
+  float threshold_m = 0.4f;
+  int64_t iterations = 10;   // matching iterations L
+  int64_t eval_every = 0;
+  int64_t width = 32;
+  int64_t depth = 3;
+  std::string pooling = "avg";
+  std::string dump_buffer;   // directory for PPM dumps of the buffer
+  std::string save_model;    // checkpoint path
+};
+
+void print_help() {
+  std::printf(
+      "deco_cli — on-device learning via dataset condensation\n\n"
+      "  --method M       deco | random | fifo | selective_bp | kcenter | gss\n"
+      "                   | dc | dsa | dm | upper_bound      (default deco)\n"
+      "  --dataset D      icub1 | core50 | cifar100 | imagenet10 | cifar10\n"
+      "  --ipc N          synthetic/real images per class     (default 10)\n"
+      "  --segments N     stream length in segments           (default 10)\n"
+      "  --segment-size N samples per segment                 (default 32)\n"
+      "  --stc N          temporal correlation strength       (default 32)\n"
+      "  --seeds N        repeat with N seeds, report mean±std (default 1)\n"
+      "  --seed N         base RNG seed                       (default 1)\n"
+      "  --epochs N       model-update epochs (opt_theta)     (default 10)\n"
+      "  --beta N         model update interval, segments     (default 10)\n"
+      "  --alpha F        feature-discrimination weight       (default 0.1)\n"
+      "  --threshold F    majority-voting threshold m         (default 0.4)\n"
+      "  --iterations N   matching iterations L               (default 10)\n"
+      "  --eval-every N   record a learning-curve point every N segments\n"
+      "  --width N        ConvNet width                       (default 32)\n"
+      "  --depth N        ConvNet conv blocks                 (default 3)\n"
+      "  --pooling P      avg | max                           (default avg)\n"
+      "  --dump-buffer DIR  write the final synthetic buffer as PPM images\n"
+      "  --save-model PATH  write the final model checkpoint\n");
+}
+
+data::DatasetSpec spec_by_name(const std::string& name) {
+  if (name == "icub1") return data::icub1_spec();
+  if (name == "core50") return data::core50_spec();
+  if (name == "cifar100") return data::cifar100_spec();
+  if (name == "imagenet10") return data::imagenet10_spec();
+  if (name == "cifar10") return data::cifar10_spec();
+  DECO_CHECK(false, "unknown dataset '" + name + "'");
+  return {};
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opt) {
+  auto next = [&](int& i) -> const char* {
+    DECO_CHECK(i + 1 < argc, std::string("flag ") + argv[i] + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return false;
+    else if (a == "--method") opt.method = next(i);
+    else if (a == "--dataset") opt.dataset = next(i);
+    else if (a == "--ipc") opt.ipc = std::atoll(next(i));
+    else if (a == "--segments") opt.segments = std::atoll(next(i));
+    else if (a == "--segment-size") opt.segment_size = std::atoll(next(i));
+    else if (a == "--stc") opt.stc = std::atoll(next(i));
+    else if (a == "--seeds") opt.seeds = std::atoll(next(i));
+    else if (a == "--seed") opt.seed = std::strtoull(next(i), nullptr, 10);
+    else if (a == "--epochs") opt.epochs = std::atoll(next(i));
+    else if (a == "--beta") opt.beta = std::atoll(next(i));
+    else if (a == "--alpha") opt.alpha = std::atof(next(i));
+    else if (a == "--threshold") opt.threshold_m = std::atof(next(i));
+    else if (a == "--iterations") opt.iterations = std::atoll(next(i));
+    else if (a == "--eval-every") opt.eval_every = std::atoll(next(i));
+    else if (a == "--width") opt.width = std::atoll(next(i));
+    else if (a == "--depth") opt.depth = std::atoll(next(i));
+    else if (a == "--pooling") opt.pooling = next(i);
+    else if (a == "--dump-buffer") opt.dump_buffer = next(i);
+    else if (a == "--save-model") opt.save_model = next(i);
+    else DECO_CHECK(false, "unknown flag '" + a + "' (see --help)");
+  }
+  return true;
+}
+
+// Dedicated path when artifacts are requested: run one DECO experiment with
+// direct access to the learner so we can dump its buffer / model afterwards.
+void run_with_artifacts(const CliOptions& opt) {
+  const data::DatasetSpec spec = spec_by_name(opt.dataset);
+  data::ProceduralImageWorld world(spec, opt.seed * 7919 + 17);
+  data::Dataset pretrain = world.make_labeled_set(6, opt.seed + 1);
+  data::Dataset test = world.make_test_set(30, opt.seed + 2);
+
+  nn::ConvNetConfig mc;
+  mc.in_channels = spec.channels;
+  mc.image_h = spec.height;
+  mc.image_w = spec.width;
+  mc.num_classes = spec.num_classes;
+  mc.width = opt.width;
+  mc.depth = opt.depth;
+  mc.pooling = opt.pooling == "max" ? nn::Pooling::kMax : nn::Pooling::kAvg;
+
+  Rng rng(opt.seed * 0x9E37 + 0xC0FFEE);
+  nn::ConvNet model(mc, rng);
+  std::vector<int64_t> all(static_cast<size_t>(pretrain.size()));
+  for (int64_t i = 0; i < pretrain.size(); ++i) all[static_cast<size_t>(i)] = i;
+  core::train_classifier(model, pretrain.batch(all), pretrain.labels(), 20,
+                         1e-3f, 5e-4f, 32, rng);
+  std::printf("pretrain accuracy: %.2f%%\n", eval::accuracy(model, test));
+
+  core::DecoConfig cfg;
+  cfg.ipc = opt.ipc;
+  cfg.beta = opt.beta;
+  cfg.model_update_epochs = opt.epochs;
+  cfg.threshold_m = opt.threshold_m;
+  cfg.condenser.alpha = opt.alpha;
+  cfg.condenser.iterations = opt.iterations;
+  core::DecoLearner learner(model, cfg, opt.seed + 3);
+  learner.init_buffer_from(pretrain);
+
+  data::StreamConfig sc;
+  sc.stc = opt.stc;
+  sc.segment_size = opt.segment_size;
+  sc.total_segments = opt.segments;
+  data::TemporalStream stream(world, sc, opt.seed + 4);
+  data::Segment seg;
+  while (stream.next(seg)) learner.observe_segment(seg.images);
+
+  std::printf("final accuracy:    %.2f%%  (condense %.1fs)\n",
+              eval::accuracy(model, test), learner.condense_seconds());
+
+  if (!opt.dump_buffer.empty()) {
+    auto& buf = learner.buffer();
+    for (int64_t r = 0; r < buf.size(); ++r) {
+      Tensor img = buf.gather({r}).reshaped(
+          {spec.channels, spec.height, spec.width});
+      const std::string path = opt.dump_buffer + "/class" +
+                               std::to_string(buf.label(r)) + "_slot" +
+                               std::to_string(r % buf.ipc()) + ".ppm";
+      write_ppm(path, img);
+    }
+    std::printf("wrote %lld synthetic images to %s\n",
+                static_cast<long long>(buf.size()), opt.dump_buffer.c_str());
+  }
+  if (!opt.save_model.empty()) {
+    nn::save_checkpoint(opt.save_model, model);
+    std::printf("saved model checkpoint to %s\n", opt.save_model.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    if (!parse_args(argc, argv, opt)) {
+      print_help();
+      return 0;
+    }
+
+    if (!opt.dump_buffer.empty() || !opt.save_model.empty()) {
+      DECO_CHECK(opt.method == "deco",
+                 "--dump-buffer/--save-model require --method deco");
+      run_with_artifacts(opt);
+      return 0;
+    }
+
+    eval::RunConfig cfg;
+    cfg.method = opt.method;
+    cfg.spec = spec_by_name(opt.dataset);
+    cfg.stream.stc = opt.stc;
+    cfg.stream.segment_size = opt.segment_size;
+    cfg.stream.total_segments = opt.segments;
+    cfg.stream.video_mode =
+        opt.dataset == "icub1" || opt.dataset == "core50" ||
+        opt.dataset == "cifar10";
+    cfg.ipc = opt.ipc;
+    cfg.deco.beta = opt.beta;
+    cfg.deco.model_update_epochs = opt.epochs;
+    cfg.deco.threshold_m = opt.threshold_m;
+    cfg.deco.condenser.alpha = opt.alpha;
+    cfg.deco.condenser.iterations = opt.iterations;
+    cfg.baseline.beta = opt.beta;
+    cfg.baseline.model_update_epochs = opt.epochs;
+    cfg.model_width = opt.width;
+    cfg.model_depth = opt.depth;
+    cfg.eval_every_segments = opt.eval_every;
+    cfg.seed = opt.seed;
+    cfg.pretrain_per_class = opt.dataset == "cifar100" ? 10 : 6;
+
+    std::vector<float> finals;
+    for (int64_t s = 0; s < opt.seeds; ++s) {
+      cfg.seed = opt.seed + static_cast<uint64_t>(s);
+      const auto res = eval::run_experiment(cfg);
+      std::printf("seed %llu: pretrain %.2f%% -> final %.2f%%  "
+                  "(pseudo-label acc %.1f%%, retained %.1f%%, condense %.1fs)\n",
+                  static_cast<unsigned long long>(cfg.seed),
+                  res.pretrain_accuracy, res.final_accuracy,
+                  100.0 * res.pseudo_label_accuracy,
+                  100.0 * res.retention_rate, res.condense_seconds);
+      for (const auto& pt : res.curve)
+        std::printf("  curve: %lld samples -> %.2f%%\n",
+                    static_cast<long long>(pt.samples_seen), pt.accuracy);
+      finals.push_back(res.final_accuracy);
+    }
+    if (opt.seeds > 1) {
+      const auto agg = eval::aggregate(finals);
+      std::printf("final over %lld seeds: %s\n",
+                  static_cast<long long>(opt.seeds),
+                  eval::format_aggregate(agg).c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
