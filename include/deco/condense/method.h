@@ -12,9 +12,12 @@
 #include <string>
 #include <vector>
 
+#include <iosfwd>
+
 #include "deco/augment/siamese.h"
 #include "deco/condense/buffer.h"
 #include "deco/condense/matcher.h"
+#include "deco/core/guard.h"
 #include "deco/nn/convnet.h"
 #include "deco/tensor/rng.h"
 
@@ -30,6 +33,10 @@ struct CondenseContext {
   const std::vector<int64_t>* active_classes = nullptr;
   nn::ConvNet* deployed_model = nullptr;  // encoder for feature discrimination
   Rng* rng = nullptr;
+  /// Optional numeric-health guard. When set (and enabled), condensers that
+  /// support it validate each matching step and roll diverged steps back to
+  /// a pre-step snapshot, retrying once with backed-off step sizes.
+  core::NumericGuard* guard = nullptr;
 };
 
 class Condenser {
@@ -38,6 +45,13 @@ class Condenser {
   /// Updates the buffer's synthetic images from one segment of real data.
   virtual void condense(const CondenseContext& ctx) = 0;
   virtual std::string name() const = 0;
+
+  /// Persists / restores internal state (rng, momentum velocities) for
+  /// crash-safe resume. Stateless condensers keep the no-op default; a method
+  /// whose future behavior depends on per-segment mutable state must override
+  /// both so a killed-and-resumed run replays bit-exactly.
+  virtual void save_state(std::ostream& os) const { (void)os; }
+  virtual void load_state(std::istream& is) { (void)is; }
 };
 
 // ---- DECO (ours) -------------------------------------------------------------
@@ -85,7 +99,20 @@ class DecoCondenser : public Condenser {
   /// Matching-loss trace of the last condense() call (diagnostics).
   const std::vector<float>& last_distances() const { return last_distances_; }
 
+  /// Persists rng + momentum state; scratch-model parameters are re-derived
+  /// from the rng on the next condense() call, so they are not stored.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
  private:
+  /// One matching step on the active rows with all step sizes (lr_syn,
+  /// lr_label, alpha) scaled by `step_scale`; returns the matching distance.
+  float run_iteration(const CondenseContext& ctx,
+                      const std::vector<int64_t>& active_rows,
+                      const std::vector<int64_t>& y_syn,
+                      const std::vector<float>& w_real,
+                      GradientMatcher& matcher, float step_scale);
+
   /// Computes the feature-discrimination input gradient into disc_scratch_
   /// and returns its global norm (0 if no anchors had positive pairs).
   float apply_feature_discrimination(const CondenseContext& ctx,

@@ -1,0 +1,167 @@
+// Numeric-health guards for the streaming pipeline.
+//
+// Dataset condensation is numerically fragile (DC-BENCH): one NaN frame from
+// a faulty sensor, one exploding gradient-matching step, or one diverged
+// model update can silently poison the synthetic buffer — the device's entire
+// distilled memory. NumericGuard centralizes the defenses:
+//
+//   * segment screening — frames with non-finite pixels are quarantined
+//     before they reach pseudo-labeling or condensation;
+//   * loss/gradient checks during model updates — batches with non-finite
+//     loss or gradients are skipped, exploding gradient norms are clipped;
+//   * condensation step health — DecoCondenser snapshots the active buffer
+//     rows before each matching step, and a diverged step (non-finite or
+//     exploding distance, non-finite pixels) is rolled back and retried once
+//     with backed-off step sizes.
+//
+// The guard is header-only so both deco_core (learner) and deco_condense
+// (condensers, via CondenseContext) can use it without a link-layer cycle.
+// All counters accumulate in GuardStats; DecoLearner surfaces per-segment
+// deltas in SegmentReport and the experiment runner totals them in RunResult.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "deco/nn/module.h"
+#include "deco/tensor/check.h"
+#include "deco/tensor/tensor.h"
+
+namespace deco::core {
+
+/// Guard policy knobs. Thresholds set to 0 disable the individual check;
+/// `enabled = false` turns the whole guard into a no-op.
+struct GuardConfig {
+  bool enabled = true;
+  /// Model updates: global gradient-norm clip threshold (0 = no clipping).
+  /// The default is generous on purpose: healthy training on this model
+  /// family stays well below it, so clean-run trajectories are bit-identical
+  /// with guards on or off; only genuine explosions get clipped. Tighten it
+  /// when deploying behind noisier sensors.
+  float max_grad_norm = 100.0f;
+  /// Condensation: a matching distance above this is treated as divergence
+  /// (the cosine-based distance is bounded by ~2 per pair; orders of
+  /// magnitude above that means the forward pass overflowed). 0 disables.
+  float max_condense_distance = 1e6f;
+  /// Step-size multiplier for the single retry after a rolled-back step.
+  float backoff = 0.5f;
+
+  /// Throws deco::Error on out-of-range knobs.
+  void validate() const {
+    DECO_CHECK(max_grad_norm >= 0.0f, "GuardConfig: max_grad_norm < 0");
+    DECO_CHECK(max_condense_distance >= 0.0f,
+               "GuardConfig: max_condense_distance < 0");
+    DECO_CHECK(backoff > 0.0f && backoff <= 1.0f,
+               "GuardConfig: backoff must be in (0, 1]");
+  }
+};
+
+/// Counts of guard interventions since construction (or the last reset).
+struct GuardStats {
+  int64_t frames_quarantined = 0;  ///< non-finite frames excluded upstream
+  int64_t segments_skipped = 0;    ///< segments with zero usable frames
+  int64_t steps_rolled_back = 0;   ///< diverged condensation steps undone
+  int64_t batches_skipped = 0;     ///< model-update batches with bad loss/grad
+  int64_t grads_clipped = 0;       ///< model-update norm clips applied
+};
+
+/// True when every element of `t` is finite.
+inline bool all_finite(const Tensor& t) {
+  const float* p = t.data();
+  for (int64_t i = 0, n = t.numel(); i < n; ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+/// Number of non-finite elements of `t`.
+inline int64_t count_nonfinite(const Tensor& t) {
+  const float* p = t.data();
+  int64_t bad = 0;
+  for (int64_t i = 0, n = t.numel(); i < n; ++i)
+    if (!std::isfinite(p[i])) ++bad;
+  return bad;
+}
+
+class NumericGuard {
+ public:
+  NumericGuard() = default;
+  explicit NumericGuard(GuardConfig config) : config_(config) {
+    config_.validate();
+  }
+
+  bool enabled() const { return config_.enabled; }
+  const GuardConfig& config() const { return config_; }
+  GuardStats& stats() { return stats_; }
+  const GuardStats& stats() const { return stats_; }
+
+  /// Screens a [S, C, H, W] segment: returns the indices of frames whose
+  /// pixels are all finite, counting the rest as quarantined.
+  std::vector<int64_t> screen_frames(const Tensor& images) {
+    const int64_t s = images.ndim() > 0 ? images.dim(0) : 0;
+    const int64_t per = s > 0 ? images.numel() / s : 0;
+    std::vector<int64_t> finite;
+    finite.reserve(static_cast<size_t>(s));
+    const float* p = images.data();
+    for (int64_t i = 0; i < s; ++i) {
+      bool ok = true;
+      for (int64_t j = 0; j < per; ++j) {
+        if (!std::isfinite(p[i * per + j])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok)
+        finite.push_back(i);
+      else
+        ++stats_.frames_quarantined;
+    }
+    return finite;
+  }
+
+  /// Model-update loss check. False → the caller must skip the batch.
+  bool admit_loss(float loss) {
+    if (std::isfinite(loss)) return true;
+    ++stats_.batches_skipped;
+    return false;
+  }
+
+  /// Model-update gradient check: returns false (caller skips the step) when
+  /// any gradient is non-finite; otherwise clips the global norm to
+  /// max_grad_norm (when positive) and returns true.
+  bool admit_gradients(std::vector<nn::ParamRef> params) {
+    double sq = 0.0;
+    for (const nn::ParamRef& p : params)
+      sq += static_cast<double>(p.grad->squared_norm());
+    if (!std::isfinite(sq)) {
+      ++stats_.batches_skipped;
+      return false;
+    }
+    const double norm = std::sqrt(sq);
+    if (config_.max_grad_norm > 0.0f &&
+        norm > static_cast<double>(config_.max_grad_norm)) {
+      const float scale =
+          config_.max_grad_norm / static_cast<float>(norm);
+      for (nn::ParamRef& p : params) p.grad->scale_(scale);
+      ++stats_.grads_clipped;
+    }
+    return true;
+  }
+
+  /// Health verdict for one condensation step: the matching distance must be
+  /// finite and below the explosion threshold.
+  bool distance_healthy(float distance) const {
+    if (!std::isfinite(distance)) return false;
+    return config_.max_condense_distance <= 0.0f ||
+           distance <= config_.max_condense_distance;
+  }
+
+  void note_rollback() { ++stats_.steps_rolled_back; }
+  void note_segment_skipped() { ++stats_.segments_skipped; }
+
+ private:
+  GuardConfig config_{};
+  GuardStats stats_{};
+};
+
+}  // namespace deco::core

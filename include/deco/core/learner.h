@@ -9,6 +9,7 @@
 
 #include "deco/condense/buffer.h"
 #include "deco/condense/method.h"
+#include "deco/core/guard.h"
 #include "deco/core/pseudo_label.h"
 #include "deco/data/dataset.h"
 #include "deco/nn/convnet.h"
@@ -18,11 +19,18 @@ namespace deco::core {
 /// What a learner did with one segment — consumed by evaluation harnesses
 /// (pseudo-label accuracy, retention rate, Fig. 4a).
 struct SegmentReport {
-  std::vector<int64_t> pseudo_labels;
+  std::vector<int64_t> pseudo_labels;  ///< −1 for quarantined frames
   std::vector<float> confidences;
   std::vector<int64_t> retained;
   int64_t active_class_count = 0;
   float condense_distance = 0.0f;  ///< last gradient-matching distance (DECO)
+
+  // Numeric-guard interventions during this segment (0 when guards are off).
+  int64_t frames_quarantined = 0;  ///< non-finite frames excluded
+  int64_t segment_skipped = 0;     ///< 1 when no usable frame survived
+  int64_t steps_rolled_back = 0;   ///< diverged condensation steps undone
+  int64_t batches_skipped = 0;     ///< model-update batches dropped
+  int64_t grads_clipped = 0;       ///< model-update gradient-norm clips
 };
 
 /// Streaming learner interface shared by DECO and the replay baselines.
@@ -49,6 +57,11 @@ struct DecoConfig {
   int64_t train_batch = 32;
   bool use_majority_voting = true;  ///< ablation switch
   condense::DecoCondenserConfig condenser;
+  GuardConfig guard;  ///< numeric-health policy (guard.enabled=false to ablate)
+
+  /// Throws deco::Error on out-of-range hyper-parameters (called by the
+  /// DecoLearner constructor, so bad configs fail loudly up front).
+  void validate() const;
 };
 
 /// The DECO framework (Algorithm 1): pseudo-label → majority vote → condense
@@ -76,9 +89,24 @@ class DecoLearner : public OnDeviceLearner {
   const DecoConfig& config() const { return config_; }
   int64_t segments_seen() const { return segments_seen_; }
 
+  /// The numeric-health guard (quarantine/rollback/clip counters live in
+  /// guard().stats()).
+  NumericGuard& guard() { return guard_; }
+  const NumericGuard& guard() const { return guard_; }
+
   /// Trains the deployed model on the current buffer (opt_θ(θ, S)); called
   /// automatically every β segments, exposed for final-update use.
   void update_model_now();
+
+  /// Crash-safe persistence: saves model parameters, the synthetic buffer
+  /// (images and, when enabled, soft-label logits), the stream position
+  /// (segments_seen) and all rng/momentum state, so a killed run resumed via
+  /// load_state replays the remaining stream bit-exactly. The file carries a
+  /// CRC32 trailer and is written atomically (temp + rename).
+  void save_state(const std::string& path) const;
+  /// Restores a save_state file. Architecture/shape mismatches, truncation
+  /// and CRC failures throw deco::Error without modifying the learner.
+  void load_state(const std::string& path);
 
  private:
   nn::ConvNet& model_;
@@ -86,6 +114,7 @@ class DecoLearner : public OnDeviceLearner {
   Rng rng_;
   condense::SyntheticBuffer buffer_;
   std::unique_ptr<condense::Condenser> condenser_;
+  NumericGuard guard_;
   int64_t segments_seen_ = 0;
   double condense_seconds_ = 0.0;
 };
@@ -93,15 +122,18 @@ class DecoLearner : public OnDeviceLearner {
 /// Shared model-update routine: SGD-with-momentum training of `model` on an
 /// in-memory set of images/labels for `epochs` epochs. Used by DECO (training
 /// on S) and by the replay baselines (training on their real-sample buffers).
+/// When `guard` is given (and enabled), batches with non-finite loss or
+/// gradients are skipped and exploding gradient norms are clipped.
 void train_classifier(nn::ConvNet& model, const Tensor& images,
                       const std::vector<int64_t>& labels, int64_t epochs,
                       float lr, float weight_decay, int64_t batch_size,
-                      Rng& rng);
+                      Rng& rng, NumericGuard* guard = nullptr);
 
 /// Soft-target variant: trains on class distributions (the learnable-soft-
 /// label extension). `targets` is [N, num_classes].
 void train_classifier_soft(nn::ConvNet& model, const Tensor& images,
                            const Tensor& targets, int64_t epochs, float lr,
-                           float weight_decay, int64_t batch_size, Rng& rng);
+                           float weight_decay, int64_t batch_size, Rng& rng,
+                           NumericGuard* guard = nullptr);
 
 }  // namespace deco::core

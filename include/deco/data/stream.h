@@ -27,6 +27,10 @@ struct StreamConfig {
   /// ImageNet proxies): samples within a run are drawn from random instances
   /// of the class (i.i.d. within class).
   bool video_mode = true;
+
+  /// Throws deco::Error when any field is out of range (called by the
+  /// TemporalStream constructor).
+  void validate() const;
 };
 
 /// One segment I_t of the stream. Ground-truth labels ride along for

@@ -13,6 +13,7 @@
 
 #include "deco/baselines/replay.h"
 #include "deco/core/learner.h"
+#include "deco/data/faults.h"
 #include "deco/data/stream.h"
 #include "deco/data/world.h"
 
@@ -42,6 +43,11 @@ struct RunConfig {
   /// Evaluate on the test set every this many segments (0 = final only).
   int64_t eval_every_segments = 0;
 
+  /// Sensor-fault injection: when any rate is non-zero the stream is wrapped
+  /// in a FaultyStream seeded from `seed`, so a faulty run is sample-paired
+  /// with its clean counterpart (common random numbers).
+  data::FaultConfig faults;
+
   uint64_t seed = 1;
 };
 
@@ -58,6 +64,14 @@ struct RunResult {
   double total_seconds = 0.0;
   double pseudo_label_accuracy = 0.0;  ///< vs ground truth, over the stream
   double retention_rate = 0.0;         ///< fraction of samples kept by voting
+
+  // Fault-tolerance accounting (0 unless faults/guards were active).
+  data::FaultLog faults;               ///< what the injector actually did
+  int64_t frames_quarantined = 0;      ///< non-finite frames excluded by guards
+  int64_t segments_skipped = 0;        ///< segments with no usable frame
+  int64_t steps_rolled_back = 0;       ///< diverged condensation steps undone
+  int64_t batches_skipped = 0;         ///< model-update batches dropped
+  int64_t grads_clipped = 0;           ///< gradient-norm clips
 };
 
 RunResult run_experiment(const RunConfig& config);

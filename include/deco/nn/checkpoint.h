@@ -13,12 +13,17 @@
 namespace deco::nn {
 
 /// Saves all parameters of `model` to `path`. Format: one header with the
-/// parameter count, then (name, tensor) pairs in collect_params order.
+/// parameter count, then (name, tensor) pairs in collect_params order; each
+/// tensor carries its own CRC32 trailer (serialize.h format v2). The write is
+/// atomic (temp file + rename), so a crash mid-save preserves the previous
+/// checkpoint.
 void save_checkpoint(const std::string& path, Module& model);
 
 /// Loads parameters saved by save_checkpoint into `model`. The module must
-/// expose the same parameter names/shapes in the same order; mismatches
-/// throw deco::Error rather than silently misloading.
+/// expose the same parameter names/shapes in the same order; mismatches,
+/// truncation and CRC failures throw deco::Error. The whole file is staged
+/// and validated before any parameter is overwritten, so a failed load never
+/// leaves the model partially updated.
 void load_checkpoint(const std::string& path, Module& model);
 
 }  // namespace deco::nn

@@ -15,6 +15,14 @@ namespace deco {
 
 class Tensor;
 
+/// Complete serializable generator state (xoshiro words + the Box–Muller
+/// cache). Lets crash-safe checkpoints resume random streams bit-exactly.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 class Rng {
  public:
   /// Seeds the state via splitmix64 expansion of `seed`.
@@ -49,6 +57,10 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng split();
+
+  /// Captures / restores the full generator state (for crash-safe resume).
+  RngState state() const;
+  void set_state(const RngState& st);
 
  private:
   uint64_t s_[4];

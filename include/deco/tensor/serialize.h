@@ -4,12 +4,21 @@
 // model parameters and the condensed buffer (which *is* the distilled
 // knowledge). The format is a deliberately simple little-endian container:
 //
-//   magic "DECOTNSR" | u32 version | u32 ndim | i64 dims[ndim] | f32 data[]
+//   v2: magic "DECOTNSR" | u32 version=2 | u32 ndim | i64 dims[ndim]
+//       | f32 data[] | u32 crc32
+//
+// The CRC32 trailer (IEEE polynomial, over everything between the magic and
+// the trailer) detects the torn/bit-rotted files a power-loss-prone device
+// produces. v1 files (no trailer) remain readable; writers always emit v2.
+// File-path saves are atomic: data is written to `<path>.tmp` and renamed
+// over the target, so a crash mid-save never destroys the previous state.
 //
 // PPM export renders CHW float images (clamped to [0,1]) as 8-bit P6 files —
 // the standard way condensation papers visualize synthetic images.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,13 +26,25 @@
 
 namespace deco {
 
-/// Writes one tensor to a binary stream. Throws deco::Error on I/O failure.
+/// IEEE CRC32 (the zlib/PNG polynomial) of `n` bytes, continuing from `seed`
+/// (pass the previous return value to checksum data in chunks; 0 to start).
+uint32_t crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Writes `bytes` to `path` atomically: the payload goes to `<path>.tmp`
+/// first and is renamed over `path` only after a successful flush, so readers
+/// never observe a torn file. Throws deco::Error on I/O failure.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+/// Writes one tensor to a binary stream (format v2, CRC32-trailed). Throws
+/// deco::Error on I/O failure.
 void write_tensor(std::ostream& os, const Tensor& t);
 
-/// Reads one tensor written by write_tensor. Throws on malformed input.
+/// Reads one tensor written by write_tensor — v2 (with CRC verification) or
+/// legacy v1. Throws deco::Error on malformed, truncated, oversized or
+/// corrupted input, before any allocation for implausible headers.
 Tensor read_tensor(std::istream& is);
 
-/// Convenience file-path wrappers.
+/// Convenience file-path wrappers. save_tensor is atomic (see above).
 void save_tensor(const std::string& path, const Tensor& t);
 Tensor load_tensor(const std::string& path);
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <unordered_set>
 
 #include "deco/nn/loss.h"
 #include "deco/nn/optim.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/ops.h"
+#include "deco/tensor/serialize.h"
 
 namespace deco::condense {
 
@@ -83,6 +86,85 @@ void validate_context(const CondenseContext& ctx) {
              "CondenseContext: real label count mismatch");
 }
 
+// ---- guard support: row-restricted snapshot/restore -------------------------
+
+Tensor gather_rows(const Tensor& full, const std::vector<int64_t>& rows,
+                   int64_t per) {
+  Tensor out({static_cast<int64_t>(rows.size()), per});
+  const float* src = full.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < rows.size(); ++i)
+    std::copy(src + rows[i] * per, src + (rows[i] + 1) * per,
+              dst + static_cast<int64_t>(i) * per);
+  return out;
+}
+
+void scatter_rows(Tensor& full, const std::vector<int64_t>& rows,
+                  const Tensor& values, int64_t per) {
+  const float* src = values.data();
+  float* dst = full.data();
+  for (size_t i = 0; i < rows.size(); ++i)
+    std::copy(src + static_cast<int64_t>(i) * per,
+              src + static_cast<int64_t>(i + 1) * per, dst + rows[i] * per);
+}
+
+/// Everything one DECO matching step mutates, restricted to the active rows.
+struct RowSnapshot {
+  Tensor images;
+  Tensor velocity;
+  Tensor logits;      // soft labels only
+  Tensor vel_labels;  // soft labels only; may be empty if not yet allocated
+};
+
+bool rows_finite(const Tensor& full, const std::vector<int64_t>& rows,
+                 int64_t per) {
+  const float* p = full.data();
+  for (int64_t r : rows)
+    for (int64_t j = 0; j < per; ++j)
+      if (!std::isfinite(p[r * per + j])) return false;
+  return true;
+}
+
+// ---- condenser state serialization helpers ---------------------------------
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DECO_CHECK(static_cast<bool>(is), "condenser state truncated");
+  return v;
+}
+
+void write_optional_tensor(std::ostream& os, const Tensor& t) {
+  const uint8_t present = t.numel() > 0 ? 1 : 0;
+  write_pod(os, present);
+  if (present != 0) write_tensor(os, t);
+}
+
+Tensor read_optional_tensor(std::istream& is) {
+  const uint8_t present = read_pod<uint8_t>(is);
+  return present != 0 ? read_tensor(is) : Tensor();
+}
+
+void write_rng_state(std::ostream& os, const RngState& st) {
+  for (uint64_t w : st.s) write_pod(os, w);
+  write_pod(os, static_cast<uint8_t>(st.has_cached_normal ? 1 : 0));
+  write_pod(os, st.cached_normal);
+}
+
+RngState read_rng_state(std::istream& is) {
+  RngState st;
+  for (auto& w : st.s) w = read_pod<uint64_t>(is);
+  st.has_cached_normal = read_pod<uint8_t>(is) != 0;
+  st.cached_normal = read_pod<double>(is);
+  return st;
+}
+
 }  // namespace
 
 // ---- DECO ---------------------------------------------------------------------
@@ -107,6 +189,34 @@ void DecoCondenser::condense(const CondenseContext& ctx) {
       ctx.w_real != nullptr ? *ctx.w_real : std::vector<float>{};
 
   GradientMatcher matcher(*scratch_, config_.fd_scale);
+  core::NumericGuard* guard =
+      ctx.guard != nullptr && ctx.guard->enabled() ? ctx.guard : nullptr;
+  const bool soft = config_.learn_soft_labels && buf.soft_labels_enabled();
+  const int64_t per = buf.channels() * buf.height() * buf.width();
+  const int64_t C = buf.num_classes();
+
+  // Health verdict for one applied step: finite, non-exploding distance and
+  // finite row values (the momentum velocity is covered by the snapshot).
+  auto healthy = [&](float dist) {
+    if (!guard->distance_healthy(dist)) return false;
+    if (!rows_finite(buf.images(), active_rows, per)) return false;
+    if (soft && !rows_finite(buf.label_logits(), active_rows, C)) return false;
+    return true;
+  };
+  auto restore = [&](const RowSnapshot& snap) {
+    scatter_rows(buf.images(), active_rows, snap.images, per);
+    scatter_rows(velocity_, active_rows, snap.velocity, per);
+    if (soft) {
+      scatter_rows(buf.label_logits(), active_rows, snap.logits, C);
+      if (snap.vel_labels.numel() > 0) {
+        scatter_rows(velocity_labels_, active_rows, snap.vel_labels, C);
+      } else if (velocity_labels_.numel() == buf.label_logits().numel()) {
+        // The failed step allocated the label velocity; reset its rows.
+        for (int64_t r : active_rows)
+          for (int64_t c = 0; c < C; ++c) velocity_labels_[r * C + c] = 0.0f;
+      }
+    }
+  };
 
   if (!config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
   for (int64_t l = 0; l < config_.iterations; ++l) {
@@ -114,63 +224,112 @@ void DecoCondenser::condense(const CondenseContext& ctx) {
     // bilevel inner loop with re-randomization (Section III-C).
     if (config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
 
-    Tensor x_syn = buf.gather(active_rows);
-    const bool soft = config_.learn_soft_labels && buf.soft_labels_enabled();
-    MatchResult res;
-    if (soft) {
-      Tensor q_syn = buf.soft_targets(active_rows);
-      GradientMatcher::SoftResult sr =
-          matcher.match_soft(x_syn, q_syn, *ctx.x_real, *ctx.y_real, w_real);
-      res = std::move(sr.base);
-      if (config_.normalize_grad) rms_normalize(sr.grad_targets);
-      if (velocity_labels_.numel() != buf.label_logits().numel())
-        velocity_labels_ = Tensor(buf.label_logits().shape());
-      buf.label_grads().zero();
-      buf.scatter_add_label_grad_from_targets(active_rows, sr.grad_targets,
-                                              1.0f);
-      // Momentum SGD on the label logits of the active rows.
-      const int64_t C = buf.num_classes();
-      for (int64_t r : active_rows) {
-        for (int64_t c = 0; c < C; ++c) {
-          float& v = velocity_labels_[r * C + c];
-          v = config_.momentum_syn * v + buf.label_grads()[r * C + c];
-          buf.label_logits()[r * C + c] -= config_.lr_label * v;
-        }
+    RowSnapshot snap;
+    if (guard != nullptr) {
+      snap.images = gather_rows(buf.images(), active_rows, per);
+      snap.velocity = gather_rows(velocity_, active_rows, per);
+      if (soft) {
+        snap.logits = gather_rows(buf.label_logits(), active_rows, C);
+        if (velocity_labels_.numel() == buf.label_logits().numel())
+          snap.vel_labels = gather_rows(velocity_labels_, active_rows, C);
       }
-    } else {
-      res = matcher.match(x_syn, y_syn, *ctx.x_real, *ctx.y_real, w_real);
-    }
-    last_distances_.push_back(res.distance);
-    if (config_.normalize_grad) rms_normalize(res.grad_syn);
-    buf.grads().zero();
-    buf.scatter_add_grad(active_rows, res.grad_syn, 1.0f);
-
-    std::vector<int64_t> touched = active_rows;
-    if (config_.feature_discrimination && config_.alpha > 0.0f &&
-        ctx.deployed_model != nullptr && buf.ipc() > 1) {
-      const float disc_norm = apply_feature_discrimination(ctx, active_rows);
-      // Eq. (9) combines the two gradients with weight α. The raw scales of
-      // the two terms differ by orders of magnitude in this substrate (the
-      // summed per-row cosine distance produces much larger input gradients
-      // than the contrastive loss), so we equalize the norms before applying
-      // α — α then expresses the *relative* contribution of feature
-      // discrimination, as the paper's sweep (Fig. 4b) assumes. See
-      // DESIGN.md, "Key algorithmic decisions".
-      if (disc_norm > 1e-12f && disc_scratch_.numel() == buf.grads().numel()) {
-        const float match_norm = buf.grads().norm();
-        const float scale =
-            config_.alpha * (match_norm > 1e-12f ? match_norm / disc_norm : 1.0f);
-        buf.grads().add_scaled_(disc_scratch_, scale);
-      }
-      // Note `touched` stays equal to active_rows: the paper is explicit that
-      // only synthetic samples of the active classes are updated in a segment
-      // (Section III-B), so the contrastive pull on negative-class rows
-      // shapes the gradient of the anchors but does not move those rows.
     }
 
-    sgd_rows(buf, touched, config_.lr_syn, config_.momentum_syn, velocity_);
-    buf.clamp_pixels();
+    float dist = run_iteration(ctx, active_rows, y_syn, w_real, matcher, 1.0f);
+    if (guard != nullptr && !healthy(dist)) {
+      restore(snap);
+      guard->note_rollback();
+      // One retry: a fresh random model (the divergence is usually a bad
+      // draw) with all step sizes backed off.
+      scratch_->reinitialize(rng_);
+      dist = run_iteration(ctx, active_rows, y_syn, w_real, matcher,
+                           guard->config().backoff);
+      if (!healthy(dist)) {
+        restore(snap);
+        guard->note_rollback();
+        continue;  // give up on this iteration; the buffer is unchanged
+      }
+    }
+    last_distances_.push_back(dist);
   }
+}
+
+float DecoCondenser::run_iteration(const CondenseContext& ctx,
+                                   const std::vector<int64_t>& active_rows,
+                                   const std::vector<int64_t>& y_syn,
+                                   const std::vector<float>& w_real,
+                                   GradientMatcher& matcher, float step_scale) {
+  SyntheticBuffer& buf = *ctx.buffer;
+  Tensor x_syn = buf.gather(active_rows);
+  const bool soft = config_.learn_soft_labels && buf.soft_labels_enabled();
+  MatchResult res;
+  if (soft) {
+    Tensor q_syn = buf.soft_targets(active_rows);
+    GradientMatcher::SoftResult sr =
+        matcher.match_soft(x_syn, q_syn, *ctx.x_real, *ctx.y_real, w_real);
+    res = std::move(sr.base);
+    if (config_.normalize_grad) rms_normalize(sr.grad_targets);
+    if (velocity_labels_.numel() != buf.label_logits().numel())
+      velocity_labels_ = Tensor(buf.label_logits().shape());
+    buf.label_grads().zero();
+    buf.scatter_add_label_grad_from_targets(active_rows, sr.grad_targets,
+                                            1.0f);
+    // Momentum SGD on the label logits of the active rows.
+    const int64_t C = buf.num_classes();
+    for (int64_t r : active_rows) {
+      for (int64_t c = 0; c < C; ++c) {
+        float& v = velocity_labels_[r * C + c];
+        v = config_.momentum_syn * v + buf.label_grads()[r * C + c];
+        buf.label_logits()[r * C + c] -= config_.lr_label * step_scale * v;
+      }
+    }
+  } else {
+    res = matcher.match(x_syn, y_syn, *ctx.x_real, *ctx.y_real, w_real);
+  }
+  if (config_.normalize_grad) rms_normalize(res.grad_syn);
+  buf.grads().zero();
+  buf.scatter_add_grad(active_rows, res.grad_syn, 1.0f);
+
+  std::vector<int64_t> touched = active_rows;
+  if (config_.feature_discrimination && config_.alpha > 0.0f &&
+      ctx.deployed_model != nullptr && buf.ipc() > 1) {
+    const float disc_norm = apply_feature_discrimination(ctx, active_rows);
+    // Eq. (9) combines the two gradients with weight α. The raw scales of
+    // the two terms differ by orders of magnitude in this substrate (the
+    // summed per-row cosine distance produces much larger input gradients
+    // than the contrastive loss), so we equalize the norms before applying
+    // α — α then expresses the *relative* contribution of feature
+    // discrimination, as the paper's sweep (Fig. 4b) assumes. See
+    // DESIGN.md, "Key algorithmic decisions".
+    if (disc_norm > 1e-12f && disc_scratch_.numel() == buf.grads().numel()) {
+      const float match_norm = buf.grads().norm();
+      const float scale = config_.alpha * step_scale *
+          (match_norm > 1e-12f ? match_norm / disc_norm : 1.0f);
+      buf.grads().add_scaled_(disc_scratch_, scale);
+    }
+    // Note `touched` stays equal to active_rows: the paper is explicit that
+    // only synthetic samples of the active classes are updated in a segment
+    // (Section III-B), so the contrastive pull on negative-class rows
+    // shapes the gradient of the anchors but does not move those rows.
+  }
+
+  sgd_rows(buf, touched, config_.lr_syn * step_scale, config_.momentum_syn,
+           velocity_);
+  buf.clamp_pixels();
+  return res.distance;
+}
+
+void DecoCondenser::save_state(std::ostream& os) const {
+  write_rng_state(os, rng_.state());
+  write_optional_tensor(os, velocity_);
+  write_optional_tensor(os, velocity_labels_);
+  DECO_CHECK(static_cast<bool>(os), "DecoCondenser::save_state: write failed");
+}
+
+void DecoCondenser::load_state(std::istream& is) {
+  rng_.set_state(read_rng_state(is));
+  velocity_ = read_optional_tensor(is);
+  velocity_labels_ = read_optional_tensor(is);
 }
 
 float DecoCondenser::apply_feature_discrimination(

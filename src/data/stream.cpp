@@ -4,12 +4,16 @@
 
 namespace deco::data {
 
+void StreamConfig::validate() const {
+  DECO_CHECK(stc >= 1, "stream: stc must be >= 1");
+  DECO_CHECK(segment_size >= 1, "stream: segment_size must be >= 1");
+  DECO_CHECK(total_segments >= 1, "stream: total_segments must be >= 1");
+}
+
 TemporalStream::TemporalStream(const ProceduralImageWorld& world,
                                StreamConfig config, uint64_t seed)
     : world_(world), config_(config), rng_(seed) {
-  DECO_CHECK(config_.stc >= 1, "stream: stc must be >= 1");
-  DECO_CHECK(config_.segment_size >= 1, "stream: segment_size must be >= 1");
-  DECO_CHECK(config_.total_segments >= 1, "stream: total_segments must be >= 1");
+  config_.validate();
 }
 
 void TemporalStream::begin_run() {

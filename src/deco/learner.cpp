@@ -1,11 +1,18 @@
 #include "deco/core/learner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 #include "deco/nn/loss.h"
 #include "deco/nn/optim.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/ops.h"
+#include "deco/tensor/serialize.h"
 
 namespace deco::core {
 
@@ -15,7 +22,70 @@ double now_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// ---- save_state / load_state helpers ----------------------------------------
+
+constexpr char kStateMagic[8] = {'D', 'E', 'C', 'O', 'L', 'S', 'A', 'V'};
+constexpr uint32_t kStateVersion = 2;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DECO_CHECK(static_cast<bool>(is), "learner state truncated");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const uint32_t n = read_pod<uint32_t>(is);
+  DECO_CHECK(n < 4096, "learner state: bad string length");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  DECO_CHECK(static_cast<bool>(is), "learner state: string truncated");
+  return s;
+}
+
+void write_rng_state(std::ostream& os, const RngState& st) {
+  for (uint64_t w : st.s) write_pod(os, w);
+  write_pod(os, static_cast<uint8_t>(st.has_cached_normal ? 1 : 0));
+  write_pod(os, st.cached_normal);
+}
+
+RngState read_rng_state(std::istream& is) {
+  RngState st;
+  for (auto& w : st.s) w = read_pod<uint64_t>(is);
+  st.has_cached_normal = read_pod<uint8_t>(is) != 0;
+  st.cached_normal = read_pod<double>(is);
+  return st;
+}
 }  // namespace
+
+void DecoConfig::validate() const {
+  DECO_CHECK(ipc >= 1, "DecoConfig: ipc must be >= 1");
+  DECO_CHECK(threshold_m >= 0.0f && threshold_m <= 1.0f,
+             "DecoConfig: threshold_m must be in [0, 1]");
+  DECO_CHECK(beta >= 1, "DecoConfig: beta must be >= 1");
+  DECO_CHECK(model_update_epochs >= 0,
+             "DecoConfig: model_update_epochs must be >= 0");
+  DECO_CHECK(lr_model > 0.0f, "DecoConfig: lr_model must be > 0");
+  DECO_CHECK(weight_decay >= 0.0f, "DecoConfig: weight_decay must be >= 0");
+  DECO_CHECK(train_batch >= 1, "DecoConfig: train_batch must be >= 1");
+  DECO_CHECK(condenser.iterations >= 1,
+             "DecoConfig: condenser.iterations must be >= 1");
+  DECO_CHECK(condenser.lr_syn > 0.0f, "DecoConfig: condenser.lr_syn must be > 0");
+  DECO_CHECK(condenser.alpha >= 0.0f, "DecoConfig: condenser.alpha must be >= 0");
+  guard.validate();
+}
 
 DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed)
     : DecoLearner(model, config, seed,
@@ -29,9 +99,10 @@ DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed,
       rng_(seed),
       buffer_(model.config().num_classes, config.ipc, model.config().in_channels,
               model.config().image_h, model.config().image_w),
-      condenser_(std::move(condenser)) {
+      condenser_(std::move(condenser)),
+      guard_(config.guard) {
   DECO_CHECK(condenser_ != nullptr, "DecoLearner: null condenser");
-  DECO_CHECK(config_.beta >= 1, "DecoLearner: beta must be >= 1");
+  config_.validate();
 }
 
 std::string DecoLearner::name() const { return condenser_->name(); }
@@ -43,19 +114,66 @@ void DecoLearner::init_buffer_from(const data::Dataset& labeled) {
 }
 
 SegmentReport DecoLearner::observe_segment(const Tensor& images) {
+  const int64_t n = images.dim(0);
+  const GuardStats stats_before = guard_.stats();
+
+  SegmentReport report;
+
+  // Screen the segment: frames with non-finite pixels (sensor faults, ISP
+  // bugs) are quarantined before they can reach the model or the buffer.
+  std::vector<int64_t> usable;
+  const Tensor* x_in = &images;
+  Tensor x_screened;
+  bool screened = false;
+  if (guard_.enabled()) {
+    usable = guard_.screen_frames(images);
+    if (static_cast<int64_t>(usable.size()) < n) {
+      screened = true;
+      if (usable.empty()) {
+        // Nothing survived: report the segment as skipped but keep the
+        // stream protocol (segment counting, β-schedule) intact.
+        guard_.note_segment_skipped();
+        report.pseudo_labels.assign(static_cast<size_t>(n), -1);
+        report.confidences.assign(static_cast<size_t>(n), 0.0f);
+        const GuardStats& s = guard_.stats();
+        report.frames_quarantined = s.frames_quarantined - stats_before.frames_quarantined;
+        report.segment_skipped = 1;
+        ++segments_seen_;
+        if (segments_seen_ % config_.beta == 0) update_model_now();
+        return report;
+      }
+      x_screened = take(images, usable);
+      x_in = &x_screened;
+    }
+  }
+
   // Majority voting can be ablated: threshold 0 keeps every class with at
   // least one prediction, i.e. plain self-training pseudo-labels.
   const float m = config_.use_majority_voting ? config_.threshold_m : 0.0f;
-  PseudoLabelResult pl = pseudo_label_segment(model_, images, m);
+  PseudoLabelResult pl = pseudo_label_segment(model_, *x_in, m);
 
-  SegmentReport report;
-  report.pseudo_labels = pl.labels;
-  report.confidences = pl.confidences;
-  report.retained = pl.retained;
+  if (!screened) {
+    report.pseudo_labels = pl.labels;
+    report.confidences = pl.confidences;
+    report.retained = pl.retained;
+  } else {
+    // Map screened-segment indices back to positions in the full segment;
+    // quarantined frames report label −1 / confidence 0 and are never
+    // retained.
+    report.pseudo_labels.assign(static_cast<size_t>(n), -1);
+    report.confidences.assign(static_cast<size_t>(n), 0.0f);
+    for (size_t i = 0; i < usable.size(); ++i) {
+      report.pseudo_labels[static_cast<size_t>(usable[i])] = pl.labels[i];
+      report.confidences[static_cast<size_t>(usable[i])] = pl.confidences[i];
+    }
+    report.retained.reserve(pl.retained.size());
+    for (int64_t i : pl.retained)
+      report.retained.push_back(usable[static_cast<size_t>(i)]);
+  }
   report.active_class_count = static_cast<int64_t>(pl.active_classes.size());
 
   if (!pl.retained.empty() && !pl.active_classes.empty()) {
-    Tensor x_real = take(images, pl.retained);
+    Tensor x_real = take(*x_in, pl.retained);
     std::vector<int64_t> y_real;
     std::vector<float> w_real;
     y_real.reserve(pl.retained.size());
@@ -73,6 +191,7 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
     ctx.active_classes = &pl.active_classes;
     ctx.deployed_model = &model_;
     ctx.rng = &rng_;
+    ctx.guard = guard_.enabled() ? &guard_ : nullptr;
 
     const double t0 = now_seconds();
     condenser_->condense(ctx);
@@ -86,31 +205,158 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
 
   ++segments_seen_;
   if (segments_seen_ % config_.beta == 0) update_model_now();
+
+  const GuardStats& s = guard_.stats();
+  report.frames_quarantined =
+      s.frames_quarantined - stats_before.frames_quarantined;
+  report.steps_rolled_back =
+      s.steps_rolled_back - stats_before.steps_rolled_back;
+  report.batches_skipped = s.batches_skipped - stats_before.batches_skipped;
+  report.grads_clipped = s.grads_clipped - stats_before.grads_clipped;
   return report;
 }
 
 void DecoLearner::update_model_now() {
+  NumericGuard* guard = guard_.enabled() ? &guard_ : nullptr;
   if (buffer_.soft_labels_enabled()) {
     std::vector<int64_t> all(static_cast<size_t>(buffer_.size()));
     for (int64_t r = 0; r < buffer_.size(); ++r) all[static_cast<size_t>(r)] = r;
     train_classifier_soft(model_, buffer_.images(), buffer_.soft_targets(all),
                           config_.model_update_epochs, config_.lr_model,
-                          config_.weight_decay, config_.train_batch, rng_);
+                          config_.weight_decay, config_.train_batch, rng_,
+                          guard);
     return;
   }
   train_classifier(model_, buffer_.images(), buffer_.labels(),
                    config_.model_update_epochs, config_.lr_model,
-                   config_.weight_decay, config_.train_batch, rng_);
+                   config_.weight_decay, config_.train_batch, rng_, guard);
+}
+
+void DecoLearner::save_state(const std::string& path) const {
+  // Serialize body (everything after the magic) to memory, append a CRC32
+  // trailer, and write the whole file atomically: a power loss mid-save
+  // preserves the previous state file.
+  std::ostringstream os(std::ios::binary);
+  write_pod(os, kStateVersion);
+  write_pod(os, segments_seen_);
+  write_rng_state(os, rng_.state());
+
+  auto params = model_.parameters();
+  write_pod(os, static_cast<uint32_t>(params.size()));
+  for (const nn::ParamRef& p : params) {
+    write_string(os, p.name);
+    write_tensor(os, *p.value);
+  }
+
+  write_tensor(os, buffer_.images());
+  const uint8_t soft = buffer_.soft_labels_enabled() ? 1 : 0;
+  write_pod(os, soft);
+  if (soft != 0)
+    write_tensor(os, const_cast<condense::SyntheticBuffer&>(buffer_).label_logits());
+
+  write_string(os, condenser_->name());
+  condenser_->save_state(os);
+  DECO_CHECK(static_cast<bool>(os), "save_state: serialization failed");
+
+  const std::string body = os.str();
+  std::string file(kStateMagic, sizeof(kStateMagic));
+  file += body;
+  const uint32_t crc = crc32(body.data(), body.size());
+  file.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  atomic_write_file(path, file);
+}
+
+void DecoLearner::load_state(const std::string& path) {
+  std::string file;
+  {
+    std::ifstream is(path, std::ios::binary);
+    DECO_CHECK(is.is_open(), "load_state: cannot open " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    file = buf.str();
+  }
+  DECO_CHECK(file.size() >= sizeof(kStateMagic) + sizeof(uint32_t) * 2,
+             "load_state: file too small");
+  DECO_CHECK(std::equal(kStateMagic, kStateMagic + sizeof(kStateMagic),
+                        file.begin()),
+             "load_state: not a DECO learner state file");
+  const size_t body_len =
+      file.size() - sizeof(kStateMagic) - sizeof(uint32_t);
+  uint32_t stored = 0;
+  std::memcpy(&stored, file.data() + file.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t crc = crc32(file.data() + sizeof(kStateMagic), body_len);
+  DECO_CHECK(stored == crc, "load_state: CRC mismatch (corrupted state file)");
+
+  std::istringstream is(file.substr(sizeof(kStateMagic), body_len),
+                        std::ios::binary);
+  const uint32_t version = read_pod<uint32_t>(is);
+  DECO_CHECK(version == kStateVersion,
+             "load_state: unsupported version " + std::to_string(version));
+  const int64_t segments = read_pod<int64_t>(is);
+  DECO_CHECK(segments >= 0, "load_state: negative segment counter");
+  const RngState rng_state = read_rng_state(is);
+
+  // Stage everything and validate against the live model/buffer before any
+  // commit, so a mismatched file never leaves the learner half-loaded.
+  auto params = model_.parameters();
+  const uint32_t count = read_pod<uint32_t>(is);
+  DECO_CHECK(count == params.size(),
+             "load_state: parameter count mismatch (file " +
+                 std::to_string(count) + ", model " +
+                 std::to_string(params.size()) + ")");
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (const nn::ParamRef& p : params) {
+    const std::string name = read_string(is);
+    DECO_CHECK(name == p.name,
+               "load_state: parameter order mismatch: expected " + p.name +
+                   ", found " + name);
+    Tensor t = read_tensor(is);
+    DECO_CHECK(t.shape() == p.value->shape(),
+               "load_state: shape mismatch for " + p.name);
+    staged.push_back(std::move(t));
+  }
+
+  Tensor images = read_tensor(is);
+  DECO_CHECK(images.shape() == buffer_.images().shape(),
+             "load_state: buffer shape mismatch (file " + images.shape_str() +
+                 ", buffer " + buffer_.images().shape_str() + ")");
+  const uint8_t soft = read_pod<uint8_t>(is);
+  Tensor logits;
+  if (soft != 0) {
+    logits = read_tensor(is);
+    DECO_CHECK(logits.ndim() == 2 && logits.dim(0) == buffer_.size() &&
+                   logits.dim(1) == buffer_.num_classes(),
+               "load_state: soft-label logits shape mismatch");
+  }
+  const std::string condenser_name = read_string(is);
+  DECO_CHECK(condenser_name == condenser_->name(),
+             "load_state: condenser mismatch (file '" + condenser_name +
+                 "', learner '" + condenser_->name() + "')");
+
+  // Commit.
+  for (size_t i = 0; i < params.size(); ++i)
+    *params[i].value = std::move(staged[i]);
+  buffer_.images() = std::move(images);
+  if (soft != 0) {
+    if (!buffer_.soft_labels_enabled()) buffer_.enable_soft_labels();
+    buffer_.label_logits() = std::move(logits);
+  }
+  segments_seen_ = segments;
+  rng_.set_state(rng_state);
+  condenser_->load_state(is);  // integrity already established by the CRC
 }
 
 void train_classifier(nn::ConvNet& model, const Tensor& images,
                       const std::vector<int64_t>& labels, int64_t epochs,
                       float lr, float weight_decay, int64_t batch_size,
-                      Rng& rng) {
+                      Rng& rng, NumericGuard* guard) {
   const int64_t n = images.dim(0);
   DECO_CHECK(n == static_cast<int64_t>(labels.size()),
              "train_classifier: label count mismatch");
   if (n == 0) return;
+  const bool guarded = guard != nullptr && guard->enabled();
   nn::SgdMomentum opt(model, lr, 0.9f, weight_decay);
 
   std::vector<int64_t> order(static_cast<size_t>(n));
@@ -129,7 +375,15 @@ void train_classifier(nn::ConvNet& model, const Tensor& images,
       model.zero_grad();
       Tensor logits = model.forward(xb);
       auto ce = nn::weighted_cross_entropy(logits, yb);
+      if (guarded && !guard->admit_loss(ce.loss)) {
+        model.zero_grad();
+        continue;
+      }
       model.backward(ce.grad_logits);
+      if (guarded && !guard->admit_gradients(model.parameters())) {
+        model.zero_grad();
+        continue;
+      }
       opt.step();
       model.zero_grad();
     }
@@ -138,11 +392,13 @@ void train_classifier(nn::ConvNet& model, const Tensor& images,
 
 void train_classifier_soft(nn::ConvNet& model, const Tensor& images,
                            const Tensor& targets, int64_t epochs, float lr,
-                           float weight_decay, int64_t batch_size, Rng& rng) {
+                           float weight_decay, int64_t batch_size, Rng& rng,
+                           NumericGuard* guard) {
   const int64_t n = images.dim(0);
   DECO_CHECK(targets.ndim() == 2 && targets.dim(0) == n,
              "train_classifier_soft: target count mismatch");
   if (n == 0) return;
+  const bool guarded = guard != nullptr && guard->enabled();
   nn::SgdMomentum opt(model, lr, 0.9f, weight_decay);
 
   std::vector<int64_t> order(static_cast<size_t>(n));
@@ -158,7 +414,15 @@ void train_classifier_soft(nn::ConvNet& model, const Tensor& images,
       model.zero_grad();
       Tensor logits = model.forward(xb);
       auto ce = nn::soft_cross_entropy(logits, qb);
+      if (guarded && !guard->admit_loss(ce.loss)) {
+        model.zero_grad();
+        continue;
+      }
       model.backward(ce.grad_logits);
+      if (guarded && !guard->admit_gradients(model.parameters())) {
+        model.zero_grad();
+        continue;
+      }
       opt.step();
       model.zero_grad();
     }

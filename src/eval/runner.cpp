@@ -103,14 +103,21 @@ RunResult run_experiment(const RunConfig& config) {
     learner = std::move(bl);
   }
 
-  // Stream replay.
+  // Stream replay, optionally through the sensor-fault injector.
   data::TemporalStream stream(world, config.stream, config.seed + 4);
+  std::unique_ptr<data::FaultyStream> faulty;
+  if (config.faults.any())
+    faulty = std::make_unique<data::FaultyStream>(stream, config.faults,
+                                                  config.seed ^ 0xFA017ull);
+  auto next_segment = [&](data::Segment& s) {
+    return faulty != nullptr ? faulty->next(s) : stream.next(s);
+  };
   data::Segment seg;
   int64_t pseudo_correct = 0, pseudo_total = 0, retained_total = 0;
   auto* oracle = config.method == "upper_bound"
                      ? dynamic_cast<baselines::UnlimitedLearner*>(learner.get())
                      : nullptr;
-  while (stream.next(seg)) {
+  while (next_segment(seg)) {
     // The upper bound is an oracle: unlimited memory AND ground-truth labels
     // (the paper defines it as the accuracy achievable with unlimited buffer).
     core::SegmentReport rep =
@@ -123,6 +130,11 @@ RunResult run_experiment(const RunConfig& config) {
       ++pseudo_total;
     }
     retained_total += static_cast<int64_t>(rep.retained.size());
+    result.frames_quarantined += rep.frames_quarantined;
+    result.segments_skipped += rep.segment_skipped;
+    result.steps_rolled_back += rep.steps_rolled_back;
+    result.batches_skipped += rep.batches_skipped;
+    result.grads_clipped += rep.grads_clipped;
 
     if (config.eval_every_segments > 0 &&
         stream.segments_emitted() % config.eval_every_segments == 0) {
@@ -131,6 +143,7 @@ RunResult run_experiment(const RunConfig& config) {
     }
   }
 
+  if (faulty != nullptr) result.faults = faulty->log();
   result.final_accuracy = accuracy(learner->model(), test);
   result.condense_seconds = learner->condense_seconds();
   result.total_seconds = now_seconds() - t_start;

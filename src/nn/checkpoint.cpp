@@ -2,6 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "deco/tensor/check.h"
 #include "deco/tensor/serialize.h"
@@ -29,8 +32,9 @@ std::string read_string(std::istream& is) {
 }  // namespace
 
 void save_checkpoint(const std::string& path, Module& model) {
-  std::ofstream os(path, std::ios::binary);
-  DECO_CHECK(os.is_open(), "save_checkpoint: cannot open " + path);
+  // Serialize to memory first, then write atomically: a crash mid-save must
+  // never clobber the previous on-disk checkpoint.
+  std::ostringstream os(std::ios::binary);
   os.write(kMagic, sizeof(kMagic));
   auto params = model.parameters();
   const uint32_t count = static_cast<uint32_t>(params.size());
@@ -39,7 +43,8 @@ void save_checkpoint(const std::string& path, Module& model) {
     write_string(os, p.name);
     write_tensor(os, *p.value);
   }
-  DECO_CHECK(static_cast<bool>(os), "save_checkpoint: write failed");
+  DECO_CHECK(static_cast<bool>(os), "save_checkpoint: serialization failed");
+  atomic_write_file(path, os.str());
 }
 
 void load_checkpoint(const std::string& path, Module& model) {
@@ -51,11 +56,16 @@ void load_checkpoint(const std::string& path, Module& model) {
              "load_checkpoint: not a DECO checkpoint");
   uint32_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  DECO_CHECK(static_cast<bool>(is), "load_checkpoint: header truncated");
   auto params = model.parameters();
   DECO_CHECK(count == params.size(),
              "load_checkpoint: parameter count mismatch (file " +
                  std::to_string(count) + ", model " +
                  std::to_string(params.size()) + ")");
+  // Stage every tensor and validate the full file before touching the model:
+  // a truncated or mismatched checkpoint must not leave the model half-loaded.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
   for (ParamRef& p : params) {
     const std::string name = read_string(is);
     DECO_CHECK(name == p.name, "load_checkpoint: parameter order mismatch: "
@@ -63,8 +73,10 @@ void load_checkpoint(const std::string& path, Module& model) {
     Tensor t = read_tensor(is);
     DECO_CHECK(t.shape() == p.value->shape(),
                "load_checkpoint: shape mismatch for " + p.name);
-    *p.value = std::move(t);
+    staged.push_back(std::move(t));
   }
+  for (size_t i = 0; i < params.size(); ++i)
+    *params[i].value = std::move(staged[i]);
 }
 
 }  // namespace deco::nn

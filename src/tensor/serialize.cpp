@@ -1,11 +1,14 @@
 #include "deco/tensor/serialize.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "deco/tensor/check.h"
 
@@ -13,29 +16,80 @@ namespace deco {
 
 namespace {
 constexpr char kMagic[8] = {'D', 'E', 'C', 'O', 'T', 'N', 'S', 'R'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kLegacyVersion = 1;
+/// Total-element cap for read_tensor headers: rejects headers whose dims
+/// multiply past 2^31 elements (8 GiB of f32) before any allocation, and
+/// makes the numel product itself overflow-proof.
+constexpr int64_t kMaxElements = int64_t{1} << 31;
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
+/// Reads a POD, optionally folding its raw bytes into a running CRC.
 template <typename T>
-T read_pod(std::istream& is) {
+T read_pod(std::istream& is, uint32_t* crc = nullptr) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   DECO_CHECK(static_cast<bool>(is), "tensor stream truncated");
+  if (crc != nullptr) *crc = crc32(&v, sizeof(T), *crc);
   return v;
 }
 }  // namespace
 
+uint32_t crc32(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DECO_CHECK(os.is_open(), "atomic_write_file: cannot open " + tmp);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    DECO_CHECK(static_cast<bool>(os), "atomic_write_file: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    DECO_CHECK(false, "atomic_write_file: rename to " + path + " failed");
+  }
+}
+
 void write_tensor(std::ostream& os, const Tensor& t) {
   os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<uint32_t>(t.ndim()));
-  for (int64_t d = 0; d < t.ndim(); ++d) write_pod(os, t.dim(d));
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  uint32_t crc = 0;
+  auto emit = [&](const void* p, size_t n) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    crc = crc32(p, n, crc);
+  };
+  const uint32_t version = kVersion;
+  emit(&version, sizeof(version));
+  const uint32_t ndim = static_cast<uint32_t>(t.ndim());
+  emit(&ndim, sizeof(ndim));
+  for (int64_t d = 0; d < t.ndim(); ++d) {
+    const int64_t dim = t.dim(d);
+    emit(&dim, sizeof(dim));
+  }
+  emit(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+  write_pod(os, crc);
   DECO_CHECK(static_cast<bool>(os), "write_tensor: stream write failed");
 }
 
@@ -44,30 +98,45 @@ Tensor read_tensor(std::istream& is) {
   is.read(magic, sizeof(magic));
   DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
              "read_tensor: bad magic (not a DECO tensor stream)");
-  const uint32_t version = read_pod<uint32_t>(is);
-  DECO_CHECK(version == kVersion,
+  uint32_t crc = 0;
+  const uint32_t version = read_pod<uint32_t>(is, &crc);
+  DECO_CHECK(version == kVersion || version == kLegacyVersion,
              "read_tensor: unsupported version " + std::to_string(version));
-  const uint32_t ndim = read_pod<uint32_t>(is);
+  const bool checked = version == kVersion;
+  const uint32_t ndim = read_pod<uint32_t>(is, &crc);
   DECO_CHECK(ndim <= 8, "read_tensor: implausible rank");
   std::vector<int64_t> shape(ndim);
   int64_t numel = 1;
   for (uint32_t d = 0; d < ndim; ++d) {
-    shape[d] = read_pod<int64_t>(is);
+    shape[d] = read_pod<int64_t>(is, &crc);
     DECO_CHECK(shape[d] >= 0 && shape[d] < (int64_t{1} << 32),
                "read_tensor: implausible dimension");
-    numel *= shape[d];
+    // Accumulate against the explicit element cap so the product cannot
+    // overflow across up to 8 dimensions.
+    if (shape[d] == 0) {
+      numel = 0;
+    } else {
+      DECO_CHECK(numel <= kMaxElements / shape[d],
+                 "read_tensor: header exceeds the element cap");
+      numel *= shape[d];
+    }
   }
   Tensor t(shape);
   is.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(numel * sizeof(float)));
   DECO_CHECK(static_cast<bool>(is), "read_tensor: data truncated");
+  if (checked) {
+    crc = crc32(t.data(), static_cast<size_t>(numel) * sizeof(float), crc);
+    const uint32_t stored = read_pod<uint32_t>(is);
+    DECO_CHECK(stored == crc, "read_tensor: CRC mismatch (corrupted data)");
+  }
   return t;
 }
 
 void save_tensor(const std::string& path, const Tensor& t) {
-  std::ofstream os(path, std::ios::binary);
-  DECO_CHECK(os.is_open(), "save_tensor: cannot open " + path);
+  std::ostringstream os(std::ios::binary);
   write_tensor(os, t);
+  atomic_write_file(path, os.str());
 }
 
 Tensor load_tensor(const std::string& path) {

@@ -1,0 +1,183 @@
+#include "deco/data/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deco/data/world.h"
+#include "deco/tensor/check.h"
+#include "test_util.h"
+
+namespace deco::data {
+namespace {
+
+StreamConfig small_stream() {
+  StreamConfig sc;
+  sc.stc = 8;
+  sc.segment_size = 16;
+  sc.total_segments = 6;
+  return sc;
+}
+
+TEST(FaultConfigTest, DefaultInjectsNothing) {
+  FaultConfig fc;
+  EXPECT_FALSE(fc.any());
+  fc.validate();  // defaults are valid
+  fc.nan_burst_rate = 0.1;
+  EXPECT_TRUE(fc.any());
+}
+
+TEST(FaultConfigTest, RejectsOutOfRangeRates) {
+  FaultConfig fc;
+  fc.drop_frame_rate = 1.5;
+  EXPECT_THROW(fc.validate(), Error);
+
+  fc = FaultConfig{};
+  fc.dead_pixel_rate = -0.1;
+  EXPECT_THROW(fc.validate(), Error);
+
+  fc = FaultConfig{};
+  fc.burst_size = 0;
+  EXPECT_THROW(fc.validate(), Error);
+
+  // Pixel-fault rates share one uniform draw; their sum cannot exceed 1.
+  fc = FaultConfig{};
+  fc.dead_pixel_rate = 0.5;
+  fc.hot_pixel_rate = 0.4;
+  fc.salt_pepper_rate = 0.2;
+  EXPECT_THROW(fc.validate(), Error);
+}
+
+TEST(FaultyStreamTest, ZeroRatesPassSegmentsThroughUnchanged) {
+  ProceduralImageWorld world(icub1_spec(), 1);
+  TemporalStream clean(world, small_stream(), 2);
+  TemporalStream inner(world, small_stream(), 2);
+  FaultyStream faulty(inner, FaultConfig{}, 3);
+
+  Segment a, b;
+  while (clean.next(a)) {
+    ASSERT_TRUE(faulty.next(b));
+    EXPECT_EQ(a.true_labels, b.true_labels);
+    EXPECT_EQ(a.images.l1_distance(b.images), 0.0f);
+  }
+  EXPECT_FALSE(faulty.next(b));
+  EXPECT_EQ(faulty.log().total_faults(), 0);
+  EXPECT_EQ(faulty.log().segments_emitted, small_stream().total_segments);
+}
+
+TEST(FaultyStreamTest, PixelFaultsHitExpectedFractionAndValues) {
+  ProceduralImageWorld world(icub1_spec(), 4);
+  TemporalStream inner(world, small_stream(), 5);
+  FaultConfig fc;
+  fc.dead_pixel_rate = 0.05;
+  fc.hot_pixel_rate = 0.05;
+  FaultyStream faulty(inner, fc, 6);
+
+  Segment seg;
+  int64_t zeros = 0, ones = 0, total = 0;
+  while (faulty.next(seg)) {
+    const float* p = seg.images.data();
+    for (int64_t i = 0; i < seg.images.numel(); ++i) {
+      if (p[i] == 0.0f) ++zeros;
+      if (p[i] == 1.0f) ++ones;
+    }
+    total += seg.images.numel();
+  }
+  EXPECT_GT(faulty.log().dead_pixels, 0);
+  EXPECT_GT(faulty.log().hot_pixels, 0);
+  // ≈5% each, very loose bounds (natural 0/1 pixels also count).
+  EXPECT_GT(static_cast<double>(zeros) / static_cast<double>(total), 0.02);
+  EXPECT_GT(static_cast<double>(ones) / static_cast<double>(total), 0.02);
+}
+
+TEST(FaultyStreamTest, NanBurstsProduceNonFinitePixels) {
+  ProceduralImageWorld world(icub1_spec(), 7);
+  TemporalStream inner(world, small_stream(), 8);
+  FaultConfig fc;
+  fc.nan_burst_rate = 0.5;
+  fc.inf_burst_rate = 0.25;
+  FaultyStream faulty(inner, fc, 9);
+
+  Segment seg;
+  int64_t nonfinite = 0;
+  while (faulty.next(seg)) {
+    const float* p = seg.images.data();
+    for (int64_t i = 0; i < seg.images.numel(); ++i)
+      if (!std::isfinite(p[i])) ++nonfinite;
+  }
+  EXPECT_GT(faulty.log().nan_bursts, 0);
+  EXPECT_GT(faulty.log().inf_bursts, 0);
+  EXPECT_GT(nonfinite, 0);
+}
+
+TEST(FaultyStreamTest, StructuralFaultsKeepLabelsAligned) {
+  ProceduralImageWorld world(icub1_spec(), 10);
+  StreamConfig sc = small_stream();
+  sc.total_segments = 12;
+  TemporalStream inner(world, sc, 11);
+  FaultConfig fc;
+  fc.drop_frame_rate = 0.3;
+  fc.duplicate_frame_rate = 0.2;
+  fc.truncate_rate = 0.5;
+  FaultyStream faulty(inner, fc, 12);
+
+  Segment seg;
+  int64_t segments = 0;
+  while (faulty.next(seg)) {
+    ++segments;
+    // Labels track the restructured frames and at least one frame survives.
+    ASSERT_GE(seg.images.dim(0), 1);
+    ASSERT_EQ(seg.images.dim(0), static_cast<int64_t>(seg.true_labels.size()));
+    for (int64_t l : seg.true_labels) EXPECT_GE(l, 0);
+  }
+  EXPECT_EQ(segments, sc.total_segments);
+  EXPECT_GT(faulty.log().frames_dropped + faulty.log().segments_truncated, 0);
+  EXPECT_GT(faulty.log().frames_duplicated, 0);
+  EXPECT_LT(faulty.log().frames_emitted,
+            sc.total_segments * sc.segment_size);  // something was dropped
+}
+
+TEST(FaultyStreamTest, SameSeedIsDeterministic) {
+  ProceduralImageWorld world(icub1_spec(), 13);
+  FaultConfig fc;
+  fc.salt_pepper_rate = 0.05;
+  fc.drop_frame_rate = 0.1;
+  fc.nan_burst_rate = 0.1;
+
+  auto run = [&]() {
+    TemporalStream inner(world, small_stream(), 14);
+    FaultyStream faulty(inner, fc, 15);
+    Segment seg;
+    std::vector<float> checksum;
+    while (faulty.next(seg)) {
+      double sum = 0.0;
+      const float* p = seg.images.data();
+      for (int64_t i = 0; i < seg.images.numel(); ++i)
+        if (std::isfinite(p[i])) sum += p[i];
+      checksum.push_back(static_cast<float>(sum));
+      checksum.push_back(static_cast<float>(seg.images.dim(0)));
+    }
+    return checksum;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultyStreamTest, ExposureFaultsStayInRange) {
+  ProceduralImageWorld world(icub1_spec(), 16);
+  TemporalStream inner(world, small_stream(), 17);
+  FaultConfig fc;
+  fc.overexpose_rate = 0.5;
+  fc.underexpose_rate = 0.4;
+  FaultyStream faulty(inner, fc, 18);
+
+  Segment seg;
+  while (faulty.next(seg)) {
+    EXPECT_GE(seg.images.min(), 0.0f);
+    EXPECT_LE(seg.images.max(), 1.0f);
+  }
+  EXPECT_GT(faulty.log().frames_overexposed, 0);
+  EXPECT_GT(faulty.log().frames_underexposed, 0);
+}
+
+}  // namespace
+}  // namespace deco::data

@@ -138,9 +138,36 @@ TEST(DecoLearnerTest, RejectsBadConfig) {
   data::DatasetSpec spec = data::icub1_spec();
   Rng rng(16);
   nn::ConvNet model(model_config(spec), rng);
+  auto expect_rejected = [&](DecoConfig cfg) {
+    EXPECT_THROW(DecoLearner(model, cfg, 17), Error);
+  };
   DecoConfig cfg;
   cfg.beta = 0;
-  EXPECT_THROW(DecoLearner(model, cfg, 17), Error);
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.ipc = 0;
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.threshold_m = 1.5f;
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.lr_model = 0.0f;
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.train_batch = 0;
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.condenser.iterations = 0;
+  expect_rejected(cfg);
+
+  cfg = DecoConfig{};
+  cfg.guard.backoff = 0.0f;
+  expect_rejected(cfg);
 }
 
 }  // namespace

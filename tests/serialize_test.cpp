@@ -72,6 +72,82 @@ TEST(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(load_tensor("/nonexistent/dir/t.bin"), Error);
 }
 
+TEST(SerializeTest, ReadsLegacyV1Files) {
+  // Hand-craft a v1 container (no CRC trailer): magic | version=1 | ndim |
+  // dims | data. Current readers must keep accepting it.
+  std::stringstream ss;
+  ss.write("DECOTNSR", 8);
+  const uint32_t version = 1, ndim = 2;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  ss.write(reinterpret_cast<const char*>(&ndim), 4);
+  const int64_t dims[2] = {2, 3};
+  ss.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  const float data[6] = {0.f, 1.f, 2.f, 3.f, 4.f, 5.f};
+  ss.write(reinterpret_cast<const char*>(data), sizeof(data));
+
+  Tensor t = read_tensor(ss);
+  ASSERT_EQ(t.shape(), (std::vector<int64_t>{2, 3}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], static_cast<float>(i));
+}
+
+TEST(SerializeTest, RejectsUnsupportedVersion) {
+  std::stringstream ss;
+  ss.write("DECOTNSR", 8);
+  const uint32_t version = 7, ndim = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  ss.write(reinterpret_cast<const char*>(&ndim), 4);
+  const int64_t dim = 1;
+  ss.write(reinterpret_cast<const char*>(&dim), 8);
+  const float v = 0.f;
+  ss.write(reinterpret_cast<const char*>(&v), 4);
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(SerializeTest, DetectsBitFlipViaCrc) {
+  Rng rng(8);
+  Tensor t = deco::testing::random_tensor({16}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string bytes = ss.str();
+  // Flip one payload bit (past magic+version+ndim+dims).
+  bytes[8 + 4 + 4 + 8 + 10] ^= 0x10;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_tensor(corrupted), Error);
+}
+
+TEST(SerializeTest, RejectsOversizedHeaderBeforeAllocating) {
+  // A header claiming 2^20 × 2^20 × 2^20 elements must be rejected by the
+  // element cap — and must not overflow the product into something small.
+  std::stringstream ss;
+  ss.write("DECOTNSR", 8);
+  const uint32_t version = 2, ndim = 3;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  ss.write(reinterpret_cast<const char*>(&ndim), 4);
+  const int64_t dim = int64_t{1} << 20;
+  for (int d = 0; d < 3; ++d)
+    ss.write(reinterpret_cast<const char*>(&dim), 8);
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(SerializeTest, Crc32MatchesKnownVector) {
+  // The standard IEEE check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Chunked computation continues from the running value.
+  const uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xCBF43926u);
+}
+
+TEST(SerializeTest, AtomicSaveLeavesNoTempFile) {
+  Rng rng(9);
+  Tensor t = deco::testing::random_tensor({4}, rng);
+  const std::string path = temp_path("atomic.bin");
+  save_tensor(path, t);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open());
+  EXPECT_EQ(load_tensor(path).l1_distance(t), 0.0f);
+  std::remove(path.c_str());
+}
+
 TEST(PpmTest, WritesValidHeaderAndSize) {
   Tensor img({3, 2, 4});
   img.fill(0.5f);
@@ -148,6 +224,57 @@ TEST(CheckpointTest, RejectsMismatchedArchitecture) {
   cfg.width = 8;  // different architecture
   nn::ConvNet other(cfg, rng);
   EXPECT_THROW(nn::load_checkpoint(path, other), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FailedLoadLeavesModelUntouched) {
+  Rng rng(10);
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.image_h = cfg.image_w = 8;
+  cfg.num_classes = 3;
+  cfg.width = 4;
+  cfg.depth = 2;
+  nn::ConvNet model(cfg, rng);
+  const std::string path = temp_path("model3.ckpt");
+  nn::save_checkpoint(path, model);
+
+  cfg.depth = 1;  // different parameter list
+  nn::ConvNet other(cfg, rng);
+  Tensor x = deco::testing::random_tensor({2, 2, 8, 8}, rng);
+  Tensor y_before = other.forward(x);
+  EXPECT_THROW(nn::load_checkpoint(path, other), Error);
+  // Staged loading: the failed load must not have committed any parameter.
+  EXPECT_EQ(other.forward(x).l1_distance(y_before), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DetectsCorruptedCheckpoint) {
+  Rng rng(11);
+  nn::ConvNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_h = cfg.image_w = 8;
+  cfg.num_classes = 2;
+  cfg.width = 4;
+  cfg.depth = 1;
+  nn::ConvNet model(cfg, rng);
+  const std::string path = temp_path("model4.ckpt");
+  nn::save_checkpoint(path, model);
+
+  // Flip a byte in the middle of the file: some tensor's CRC must trip.
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(nn::load_checkpoint(path, model), Error);
   std::remove(path.c_str());
 }
 
