@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "deco/condense/grad_distance.h"
+#include "deco/core/thread_pool.h"
 #include "deco/condense/grad_utils.h"
 #include "deco/condense/matcher.h"
 #include "deco/data/world.h"
@@ -111,6 +112,71 @@ void BM_OneStepMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OneStepMatch)->Arg(1)->Arg(10)->Arg(50);
+
+// ---- thread-count sweeps ----------------------------------------------------
+// The same kernels at DECO_NUM_THREADS ∈ {1, 2, 4, 8}. The deterministic
+// chunking contract means every row of the sweep computes the identical
+// result; only the wall clock should move. Captured before any bench runs so
+// the sweeps can restore the environment's default pool size afterwards.
+const int kDefaultThreads = core::num_threads();
+
+void BM_MatmulThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  const int64_t n = 128;
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  Tensor out;
+  for (auto _ : state) {
+    matmul_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  core::set_num_threads(kDefaultThreads);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConvNetForwardBackwardThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  const int64_t batch = 32;
+  Rng rng(3);
+  nn::ConvNet net(paper_config(), rng);
+  Tensor x({batch, 3, 16, 16});
+  rng.fill_uniform(x, 0, 1);
+  std::vector<int64_t> labels(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) labels[static_cast<size_t>(i)] = i % 10;
+  for (auto _ : state) {
+    net.zero_grad();
+    Tensor logits = net.forward(x);
+    auto ce = nn::weighted_cross_entropy(logits, labels);
+    Tensor gx = net.backward(ce.grad_logits);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  core::set_num_threads(kDefaultThreads);
+}
+BENCHMARK(BM_ConvNetForwardBackwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_OneStepMatchThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  const int64_t ipc = 10;
+  Rng rng(5);
+  nn::ConvNet net(paper_config(), rng);
+  Tensor x_syn({ipc, 3, 16, 16});
+  rng.fill_uniform(x_syn, 0, 1);
+  std::vector<int64_t> y_syn(static_cast<size_t>(ipc), 0);
+  Tensor x_real({32, 3, 16, 16});
+  rng.fill_uniform(x_real, 0, 1);
+  std::vector<int64_t> y_real(32, 0);
+  condense::GradientMatcher matcher(net);
+  for (auto _ : state) {
+    auto res = matcher.match(x_syn, y_syn, x_real, y_real, {});
+    benchmark::DoNotOptimize(res.distance);
+  }
+  core::set_num_threads(kDefaultThreads);
+}
+BENCHMARK(BM_OneStepMatchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_RenderFrame(benchmark::State& state) {
   data::ProceduralImageWorld world(data::core50_spec(), 6);

@@ -63,6 +63,17 @@ class GradientMatcher {
                               const std::vector<float>& w_real,
                               const augment::SiameseAugment& aug, Rng& rng);
 
+  /// Augmented matching with externally sampled transform parameters. Lets a
+  /// caller draw the per-class augmentation params serially (keeping the rng
+  /// stream order fixed) and then run the matching passes on worker threads.
+  MatchResult match_with_params(const Tensor& x_syn,
+                                const std::vector<int64_t>& y_syn,
+                                const Tensor& x_real,
+                                const std::vector<int64_t>& y_real,
+                                const std::vector<float>& w_real,
+                                const augment::SiameseAugment& aug,
+                                const augment::AugmentParams& params);
+
  private:
   MatchResult match_impl(const Tensor& x_syn, const std::vector<int64_t>& y_syn,
                          const Tensor& x_real, const std::vector<int64_t>& y_real,

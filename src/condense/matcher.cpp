@@ -105,6 +105,13 @@ MatchResult GradientMatcher::match_augmented(
   return match_impl(x_syn, y_syn, x_real, y_real, w_real, &aug, &params);
 }
 
+MatchResult GradientMatcher::match_with_params(
+    const Tensor& x_syn, const std::vector<int64_t>& y_syn, const Tensor& x_real,
+    const std::vector<int64_t>& y_real, const std::vector<float>& w_real,
+    const augment::SiameseAugment& aug, const augment::AugmentParams& params) {
+  return match_impl(x_syn, y_syn, x_real, y_real, w_real, &aug, &params);
+}
+
 MatchResult GradientMatcher::match_impl(const Tensor& x_syn,
                                         const std::vector<int64_t>& y_syn,
                                         const Tensor& x_real,

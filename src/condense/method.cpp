@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <unordered_set>
 
+#include "deco/core/thread_pool.h"
+#include "deco/nn/convnet.h"
 #include "deco/nn/loss.h"
 #include "deco/nn/optim.h"
 #include "deco/tensor/check.h"
@@ -32,6 +35,12 @@ void ensure_velocity(Tensor& velocity, const SyntheticBuffer& buffer) {
 
 // Momentum-SGD update restricted to the given buffer rows, reading the
 // buffer's gradient tensor. Rows not listed keep both image and velocity.
+// A grain that batches ~64K scalars of per-row work into one pool chunk; a
+// pure function of the row size, so chunking never depends on thread count.
+int64_t rows_grain(int64_t per) {
+  return std::max<int64_t>(1, (int64_t{1} << 16) / std::max<int64_t>(1, per));
+}
+
 void sgd_rows(SyntheticBuffer& buffer, const std::vector<int64_t>& rows,
               float lr, float momentum, Tensor& velocity) {
   const int64_t per =
@@ -39,15 +48,20 @@ void sgd_rows(SyntheticBuffer& buffer, const std::vector<int64_t>& rows,
   float* img = buffer.images().data();
   float* vel = velocity.data();
   const float* grd = buffer.grads().data();
-  for (int64_t r : rows) {
-    float* w = img + r * per;
-    float* v = vel + r * per;
-    const float* g = grd + r * per;
-    for (int64_t j = 0; j < per; ++j) {
-      v[j] = momentum * v[j] + g[j];
-      w[j] -= lr * v[j];
+  const int64_t n_rows = static_cast<int64_t>(rows.size());
+  // Rows are unique, so every chunk updates a disjoint slice of the buffer.
+  core::parallel_for(0, n_rows, rows_grain(per), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t r = rows[static_cast<size_t>(i)];
+      float* w = img + r * per;
+      float* v = vel + r * per;
+      const float* g = grd + r * per;
+      for (int64_t j = 0; j < per; ++j) {
+        v[j] = momentum * v[j] + g[j];
+        w[j] -= lr * v[j];
+      }
     }
-  }
+  });
 }
 
 // Splits a real segment into per-class index lists under the pseudo-labels.
@@ -93,9 +107,13 @@ Tensor gather_rows(const Tensor& full, const std::vector<int64_t>& rows,
   Tensor out({static_cast<int64_t>(rows.size()), per});
   const float* src = full.data();
   float* dst = out.data();
-  for (size_t i = 0; i < rows.size(); ++i)
-    std::copy(src + rows[i] * per, src + (rows[i] + 1) * per,
-              dst + static_cast<int64_t>(i) * per);
+  const int64_t n_rows = static_cast<int64_t>(rows.size());
+  core::parallel_for(0, n_rows, rows_grain(per), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t r = rows[static_cast<size_t>(i)];
+      std::copy(src + r * per, src + (r + 1) * per, dst + i * per);
+    }
+  });
   return out;
 }
 
@@ -103,9 +121,13 @@ void scatter_rows(Tensor& full, const std::vector<int64_t>& rows,
                   const Tensor& values, int64_t per) {
   const float* src = values.data();
   float* dst = full.data();
-  for (size_t i = 0; i < rows.size(); ++i)
-    std::copy(src + static_cast<int64_t>(i) * per,
-              src + static_cast<int64_t>(i + 1) * per, dst + rows[i] * per);
+  const int64_t n_rows = static_cast<int64_t>(rows.size());
+  core::parallel_for(0, n_rows, rows_grain(per), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t r = rows[static_cast<size_t>(i)];
+      std::copy(src + i * per, src + (i + 1) * per, dst + r * per);
+    }
+  });
 }
 
 /// Everything one DECO matching step mutates, restricted to the active rows.
@@ -119,10 +141,20 @@ struct RowSnapshot {
 bool rows_finite(const Tensor& full, const std::vector<int64_t>& rows,
                  int64_t per) {
   const float* p = full.data();
-  for (int64_t r : rows)
-    for (int64_t j = 0; j < per; ++j)
-      if (!std::isfinite(p[r * per + j])) return false;
-  return true;
+  const int64_t n_rows = static_cast<int64_t>(rows.size());
+  // char partials, not bool: vector<bool> is bit-packed and concurrent chunk
+  // writes to neighbouring bits would race.
+  return core::parallel_reduce<char>(
+             0, n_rows, rows_grain(per), char{1},
+             [&](int64_t i0, int64_t i1) -> char {
+               for (int64_t i = i0; i < i1; ++i) {
+                 const int64_t r = rows[static_cast<size_t>(i)];
+                 for (int64_t j = 0; j < per; ++j)
+                   if (!std::isfinite(p[r * per + j])) return 0;
+               }
+               return 1;
+             },
+             [](char a, char b) -> char { return a & b; }) != 0;
 }
 
 // ---- condenser state serialization helpers ---------------------------------
@@ -430,34 +462,72 @@ void BilevelCondenser::condense(const CondenseContext& ctx) {
 
   const std::vector<float> w_real =
       ctx.w_real != nullptr ? *ctx.w_real : std::vector<float>{};
-  GradientMatcher matcher(*scratch_, config_.fd_scale);
 
   for (int64_t k = 0; k < config_.outer_loops; ++k) {
     scratch_->reinitialize(rng_);
     nn::SgdMomentum opt_model(*scratch_, config_.lr_model, 0.9f, 5e-4f);
 
     for (int64_t t = 0; t < config_.inner_epochs; ++t) {
-      // Per-class matching, as in the original DC/DSA algorithms.
-      for (int64_t cls : *ctx.active_classes) {
+      // Per-class matching, as in the original DC/DSA algorithms. The class
+      // steps only touch their own buffer rows (plus an idempotent clamp),
+      // so the matching passes fan out across the pool, each on its own
+      // clone of the re-randomized scratch model. Augmentation params are
+      // drawn serially first in class order (fixed rng stream) and the
+      // buffer updates are applied serially in ascending class order —
+      // bitwise identical for every thread count.
+      struct ClassWork {
+        std::vector<int64_t> rows;
+        std::vector<int64_t> y_syn;
+        Tensor x_syn;
+        Tensor x_real_c;
+        std::vector<int64_t> y_real_c;
+        std::vector<float> w_real_c;
+        augment::AugmentParams params;
+        Tensor grad;  // filled by the parallel matching stage
+        bool valid = false;
+      };
+      const int64_t n_cls = static_cast<int64_t>(ctx.active_classes->size());
+      std::vector<ClassWork> work(static_cast<size_t>(n_cls));
+      for (int64_t ci = 0; ci < n_cls; ++ci) {
+        ClassWork& cw = work[static_cast<size_t>(ci)];
+        const int64_t cls = (*ctx.active_classes)[static_cast<size_t>(ci)];
         const std::vector<int64_t> real_idx =
             real_indices_of_class(*ctx.y_real, cls);
         if (real_idx.empty()) continue;
-        const std::vector<int64_t> rows = buf.rows_of_class(cls);
-        Tensor x_syn = buf.gather(rows);
-        const std::vector<int64_t> y_syn = buf.gather_labels(rows);
-        Tensor x_real_c = take(*ctx.x_real, real_idx);
-        const std::vector<int64_t> y_real_c = take_labels(*ctx.y_real, real_idx);
-        const std::vector<float> w_real_c = take_weights(w_real, real_idx);
-
-        MatchResult res =
-            aug_.enabled()
-                ? matcher.match_augmented(x_syn, y_syn, x_real_c, y_real_c,
-                                          w_real_c, aug_, rng_)
-                : matcher.match(x_syn, y_syn, x_real_c, y_real_c, w_real_c);
-        rms_normalize(res.grad_syn);
+        cw.rows = buf.rows_of_class(cls);
+        cw.x_syn = buf.gather(cw.rows);
+        cw.y_syn = buf.gather_labels(cw.rows);
+        cw.x_real_c = take(*ctx.x_real, real_idx);
+        cw.y_real_c = take_labels(*ctx.y_real, real_idx);
+        cw.w_real_c = take_weights(w_real, real_idx);
+        if (aug_.enabled())
+          cw.params = aug_.sample(rng_, cw.x_syn.dim(2), cw.x_syn.dim(3));
+        cw.valid = true;
+      }
+      core::parallel_for(0, n_cls, 1, [&](int64_t c0, int64_t c1) {
+        for (int64_t ci = c0; ci < c1; ++ci) {
+          ClassWork& cw = work[static_cast<size_t>(ci)];
+          if (!cw.valid) continue;
+          std::unique_ptr<nn::ConvNet> local = nn::clone_convnet(*scratch_);
+          GradientMatcher m(*local, config_.fd_scale);
+          MatchResult res =
+              aug_.enabled()
+                  ? m.match_with_params(cw.x_syn, cw.y_syn, cw.x_real_c,
+                                        cw.y_real_c, cw.w_real_c, aug_,
+                                        cw.params)
+                  : m.match(cw.x_syn, cw.y_syn, cw.x_real_c, cw.y_real_c,
+                            cw.w_real_c);
+          rms_normalize(res.grad_syn);
+          cw.grad = std::move(res.grad_syn);
+        }
+      });
+      for (int64_t ci = 0; ci < n_cls; ++ci) {
+        ClassWork& cw = work[static_cast<size_t>(ci)];
+        if (!cw.valid) continue;
         buf.grads().zero();
-        buf.scatter_add_grad(rows, res.grad_syn, 1.0f);
-        sgd_rows(buf, rows, config_.lr_syn, config_.momentum_syn, velocity_);
+        buf.scatter_add_grad(cw.rows, cw.grad, 1.0f);
+        sgd_rows(buf, cw.rows, config_.lr_syn, config_.momentum_syn,
+                 velocity_);
         buf.clamp_pixels();
       }
 
@@ -499,43 +569,70 @@ void DmCondenser::condense(const CondenseContext& ctx) {
 
   for (int64_t l = 0; l < config_.iterations; ++l) {
     scratch_->reinitialize(rng_);
-    for (int64_t cls : *ctx.active_classes) {
+    // Per-class mean-matching under the same random encoder. Each class task
+    // embeds and backprops on its own clone of the encoder, so the classes
+    // fan out across the pool; updates are applied serially in ascending
+    // class order, keeping results bitwise identical for every thread count.
+    struct ClassWork {
+      std::vector<int64_t> rows;
+      Tensor x_real_c;
+      Tensor x_syn;
+      Tensor grad;  // filled by the parallel stage
+      bool valid = false;
+    };
+    const int64_t n_cls = static_cast<int64_t>(ctx.active_classes->size());
+    std::vector<ClassWork> work(static_cast<size_t>(n_cls));
+    for (int64_t ci = 0; ci < n_cls; ++ci) {
+      ClassWork& cw = work[static_cast<size_t>(ci)];
+      const int64_t cls = (*ctx.active_classes)[static_cast<size_t>(ci)];
       const std::vector<int64_t> real_idx =
           real_indices_of_class(*ctx.y_real, cls);
       if (real_idx.empty()) continue;
+      cw.rows = buf.rows_of_class(cls);
+      cw.x_real_c = take(*ctx.x_real, real_idx);
+      cw.x_syn = buf.gather(cw.rows);
+      cw.valid = true;
+    }
+    core::parallel_for(0, n_cls, 1, [&](int64_t c0, int64_t c1) {
+      for (int64_t ci = c0; ci < c1; ++ci) {
+        ClassWork& cw = work[static_cast<size_t>(ci)];
+        if (!cw.valid) continue;
+        std::unique_ptr<nn::ConvNet> local = nn::clone_convnet(*scratch_);
 
-      // Class-mean embedding of the real data under a random encoder.
-      Tensor x_real_c = take(*ctx.x_real, real_idx);
-      Tensor emb_real = scratch_->embed(x_real_c);
-      const int64_t d = emb_real.dim(1);
-      const int64_t n_real = emb_real.dim(0);
-      Tensor mean_real({d});
-      for (int64_t i = 0; i < n_real; ++i)
-        for (int64_t j = 0; j < d; ++j) mean_real[j] += emb_real.at2(i, j);
-      mean_real.scale_(1.0f / static_cast<float>(n_real));
+        // Class-mean embedding of the real data under the random encoder.
+        Tensor emb_real = local->embed(cw.x_real_c);
+        const int64_t d = emb_real.dim(1);
+        const int64_t n_real = emb_real.dim(0);
+        Tensor mean_real({d});
+        for (int64_t i = 0; i < n_real; ++i)
+          for (int64_t j = 0; j < d; ++j) mean_real[j] += emb_real.at2(i, j);
+        mean_real.scale_(1.0f / static_cast<float>(n_real));
 
-      const std::vector<int64_t> rows = buf.rows_of_class(cls);
-      Tensor x_syn = buf.gather(rows);
-      Tensor emb_syn = scratch_->embed(x_syn);
-      const int64_t n_syn = emb_syn.dim(0);
-      Tensor mean_syn({d});
-      for (int64_t i = 0; i < n_syn; ++i)
-        for (int64_t j = 0; j < d; ++j) mean_syn[j] += emb_syn.at2(i, j);
-      mean_syn.scale_(1.0f / static_cast<float>(n_syn));
+        Tensor emb_syn = local->embed(cw.x_syn);
+        const int64_t n_syn = emb_syn.dim(0);
+        Tensor mean_syn({d});
+        for (int64_t i = 0; i < n_syn; ++i)
+          for (int64_t j = 0; j < d; ++j) mean_syn[j] += emb_syn.at2(i, j);
+        mean_syn.scale_(1.0f / static_cast<float>(n_syn));
 
-      // L = ‖mean_syn − mean_real‖²; dL/demb_syn[i] = 2·diff/n_syn.
-      Tensor diff = mean_syn - mean_real;
-      Tensor grad_emb({n_syn, d});
-      const float scale = 2.0f / static_cast<float>(n_syn);
-      for (int64_t i = 0; i < n_syn; ++i)
-        for (int64_t j = 0; j < d; ++j) grad_emb.at2(i, j) = scale * diff[j];
+        // L = ‖mean_syn − mean_real‖²; dL/demb_syn[i] = 2·diff/n_syn.
+        Tensor diff = mean_syn - mean_real;
+        Tensor grad_emb({n_syn, d});
+        const float scale = 2.0f / static_cast<float>(n_syn);
+        for (int64_t i = 0; i < n_syn; ++i)
+          for (int64_t j = 0; j < d; ++j) grad_emb.at2(i, j) = scale * diff[j];
 
-      Tensor input_grads = scratch_->backward_from_embedding(grad_emb);
-      rms_normalize(input_grads);
-      scratch_->zero_grad();
+        Tensor input_grads = local->backward_from_embedding(grad_emb);
+        rms_normalize(input_grads);
+        cw.grad = std::move(input_grads);
+      }
+    });
+    for (int64_t ci = 0; ci < n_cls; ++ci) {
+      ClassWork& cw = work[static_cast<size_t>(ci)];
+      if (!cw.valid) continue;
       buf.grads().zero();
-      buf.scatter_add_grad(rows, input_grads, 1.0f);
-      sgd_rows(buf, rows, config_.lr_syn, config_.momentum_syn, velocity_);
+      buf.scatter_add_grad(cw.rows, cw.grad, 1.0f);
+      sgd_rows(buf, cw.rows, config_.lr_syn, config_.momentum_syn, velocity_);
       buf.clamp_pixels();
     }
   }

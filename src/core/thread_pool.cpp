@@ -1,0 +1,189 @@
+#include "deco/core/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace deco::core {
+
+namespace {
+// Set while the current thread is executing pool chunks (worker or the
+// caller participating in its own run); forces nested regions inline.
+thread_local bool tl_in_pool_task = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+
+  // One "job" at a time; epoch bumps wake the workers.
+  const std::function<void(int64_t)>* task = nullptr;
+  int64_t total_chunks = 0;
+  int64_t done_chunks = 0;
+  uint64_t epoch = 0;
+  bool stop = false;
+  std::exception_ptr first_error;
+
+  std::atomic<int64_t> next_chunk{0};
+
+  // Claims and executes chunks until none remain; returns how many it ran.
+  int64_t drain() {
+    const std::function<void(int64_t)>* t = task;  // stable during a job
+    const int64_t total = total_chunks;
+    int64_t did = 0;
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) break;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (first_error) {  // an earlier chunk threw: finish without running
+          ++did;
+          continue;
+        }
+      }
+      try {
+        (*t)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ++did;
+    }
+    return did;
+  }
+
+  void worker_loop() {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_work.wait(lk, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+      }
+      tl_in_pool_task = true;
+      const int64_t did = drain();
+      tl_in_pool_task = false;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done_chunks += did;
+        if (done_chunks == total_chunks) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl), workers_count_(0) {
+  const int extra = threads > 1 ? threads - 1 : 0;
+  workers_count_ = extra;
+  impl_->workers.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+bool ThreadPool::in_worker() { return tl_in_pool_task; }
+
+void ThreadPool::run(int64_t num_chunks,
+                     const std::function<void(int64_t)>& task) {
+  if (num_chunks <= 0) return;
+  // Serial paths: no workers, trivial jobs, or nested invocation. These run
+  // the exact same chunks in ascending order, so results cannot depend on
+  // which path was taken.
+  if (workers_count_ == 0 || num_chunks == 1 || tl_in_pool_task) {
+    for (int64_t c = 0; c < num_chunks; ++c) task(c);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->task = &task;
+    impl_->total_chunks = num_chunks;
+    impl_->done_chunks = 0;
+    impl_->first_error = nullptr;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+
+  // The caller participates instead of idling.
+  tl_in_pool_task = true;
+  const int64_t did = impl_->drain();
+  tl_in_pool_task = false;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_chunks += did;
+    impl_->cv_done.wait(
+        lk, [&] { return impl_->done_chunks == impl_->total_chunks; });
+    impl_->task = nullptr;
+    err = impl_->first_error;
+    impl_->first_error = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+namespace {
+
+int env_thread_count() {
+  const char* env = std::getenv("DECO_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(env_thread_count());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() { return *global_pool_slot(); }
+
+int num_threads() { return global_pool().threads(); }
+
+void set_num_threads(int threads) {
+  global_pool_slot() = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
+}
+
+void run_chunks(int64_t num_chunks, const std::function<void(int64_t)>& task) {
+  global_pool().run(num_chunks, task);
+}
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t g = grain < 1 ? 1 : grain;
+  const int64_t chunks = (n + g - 1) / g;
+  global_pool().run(chunks, [&](int64_t c) {
+    const int64_t b = begin + c * g;
+    fn(b, b + g < end ? b + g : end);
+  });
+}
+
+}  // namespace deco::core

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 
+#include "deco/core/thread_pool.h"
 #include "deco/eval/metrics.h"
 #include "deco/tensor/check.h"
 
@@ -159,13 +160,19 @@ RunResult run_experiment(const RunConfig& config) {
 }
 
 std::vector<RunResult> run_seeds(RunConfig config, int64_t seeds) {
-  std::vector<RunResult> out;
-  out.reserve(static_cast<size_t>(seeds));
+  // Each seed is a fully independent experiment, so the repeats fan out over
+  // the pool (results land in their own slot, so the order is stable). The
+  // kernels inside each experiment detect the nested region and run inline,
+  // which keeps the fan-out free of oversubscription.
+  std::vector<RunResult> out(static_cast<size_t>(seeds));
   const uint64_t base = config.seed;
-  for (int64_t s = 0; s < seeds; ++s) {
-    config.seed = base + static_cast<uint64_t>(s);
-    out.push_back(run_experiment(config));
-  }
+  core::parallel_for(0, seeds, 1, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      RunConfig cfg = config;
+      cfg.seed = base + static_cast<uint64_t>(s);
+      out[static_cast<size_t>(s)] = run_experiment(cfg);
+    }
+  });
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include <limits>
 
+#include "deco/core/thread_pool.h"
 #include "deco/nn/layers.h"
 #include "deco/tensor/check.h"
 
@@ -12,11 +13,14 @@ Tensor ReLU::forward(const Tensor& input) {
   if (!mask_.same_shape(input)) mask_ = Tensor(input.shape());
   float* po = out.data();
   float* pm = mask_.data();
-  for (int64_t i = 0, n = out.numel(); i < n; ++i) {
-    const bool pos = po[i] > 0.0f;
-    pm[i] = pos ? 1.0f : 0.0f;
-    if (!pos) po[i] = 0.0f;
-  }
+  core::parallel_for(0, out.numel(), int64_t{1} << 16,
+                     [&](int64_t i0, int64_t i1) {
+                       for (int64_t i = i0; i < i1; ++i) {
+                         const bool pos = po[i] > 0.0f;
+                         pm[i] = pos ? 1.0f : 0.0f;
+                         if (!pos) po[i] = 0.0f;
+                       }
+                     });
   return out;
 }
 
@@ -43,20 +47,23 @@ Tensor AvgPool2d::forward(const Tensor& input) {
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   const float* pi = input.data();
   float* po = out.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    const float* img = pi + nc * H * W;
-    float* dst = po + nc * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        double acc = 0.0;
-        for (int64_t ky = 0; ky < kernel_; ++ky) {
-          const float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
-          for (int64_t kx = 0; kx < kernel_; ++kx) acc += rowp[kx];
+  // Each (n, c) plane is pooled independently: disjoint reads and writes.
+  core::parallel_for(0, N * C, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      const float* img = pi + nc * H * W;
+      float* dst = po + nc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
+            for (int64_t kx = 0; kx < kernel_; ++kx) acc += rowp[kx];
+          }
+          dst[oy * ow + ox] = static_cast<float>(acc) * inv;
         }
-        dst[oy * ow + ox] = static_cast<float>(acc) * inv;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -72,19 +79,22 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   const float* pg = grad_output.data();
   float* pi = grad_input.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    float* img = pi + nc * H * W;
-    const float* src = pg + nc * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        const float g = src[oy * ow + ox] * inv;
-        for (int64_t ky = 0; ky < kernel_; ++ky) {
-          float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
-          for (int64_t kx = 0; kx < kernel_; ++kx) rowp[kx] += g;
+  // Pooling windows never straddle planes, so per-plane scatter is disjoint.
+  core::parallel_for(0, N * C, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      float* img = pi + nc * H * W;
+      const float* src = pg + nc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float g = src[oy * ow + ox] * inv;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            float* rowp = img + (oy * kernel_ + ky) * W + ox * kernel_;
+            for (int64_t kx = 0; kx < kernel_; ++kx) rowp[kx] += g;
+          }
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 
@@ -103,30 +113,32 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   argmax_.assign(static_cast<size_t>(out.numel()), 0);
   const float* pi = input.data();
   float* po = out.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    const float* img = pi + nc * H * W;
-    float* dst = po + nc * oh * ow;
-    int64_t* amax = argmax_.data() + nc * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        float best = -std::numeric_limits<float>::infinity();
-        int64_t best_idx = 0;
-        for (int64_t ky = 0; ky < kernel_; ++ky) {
-          const int64_t iy = oy * kernel_ + ky;
-          for (int64_t kx = 0; kx < kernel_; ++kx) {
-            const int64_t ix = ox * kernel_ + kx;
-            const float v = img[iy * W + ix];
-            if (v > best) {
-              best = v;
-              best_idx = nc * H * W + iy * W + ix;
+  core::parallel_for(0, N * C, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      const float* img = pi + nc * H * W;
+      float* dst = po + nc * oh * ow;
+      int64_t* amax = argmax_.data() + nc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t iy = oy * kernel_ + ky;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t ix = ox * kernel_ + kx;
+              const float v = img[iy * W + ix];
+              if (v > best) {
+                best = v;
+                best_idx = nc * H * W + iy * W + ix;
+              }
             }
           }
+          dst[oy * ow + ox] = best;
+          amax[oy * ow + ox] = best_idx;
         }
-        dst[oy * ow + ox] = best;
-        amax[oy * ow + ox] = best_idx;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -137,8 +149,18 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   Tensor grad_input(in_shape_);
   float* pi = grad_input.data();
   const float* pg = grad_output.data();
-  for (int64_t i = 0, n = grad_output.numel(); i < n; ++i)
-    pi[argmax_[static_cast<size_t>(i)]] += pg[i];
+  // argmax indices never leave their own (n, c) plane, so scattering one
+  // plane's outputs per task touches a disjoint slice of grad_input.
+  const int64_t H = in_shape_[2], W = in_shape_[3];
+  const int64_t oh = H / kernel_, ow = W / kernel_;
+  const int64_t plane_out = oh * ow;
+  const int64_t planes = grad_output.numel() / plane_out;
+  core::parallel_for(0, planes, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      for (int64_t i = nc * plane_out; i < (nc + 1) * plane_out; ++i)
+        pi[argmax_[static_cast<size_t>(i)]] += pg[i];
+    }
+  });
   return grad_input;
 }
 

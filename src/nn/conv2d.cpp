@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "deco/core/thread_pool.h"
 #include "deco/nn/layers.h"
 #include "deco/tensor/check.h"
 
@@ -47,15 +48,18 @@ Tensor Conv2d::forward(const Tensor& input) {
   const float* pb = bias_.data();
   const int64_t total_cols = last_batch_ * per_sample;
   // out_mat is [out_ch, N*oh*ow] with sample-major columns; permute to NCHW.
-  for (int64_t oc = 0; oc < out_channels_; ++oc) {
-    const float* src = pm + oc * total_cols;
-    const float b = pb[oc];
-    for (int64_t n = 0; n < last_batch_; ++n) {
-      float* dst = po + (n * out_channels_ + oc) * per_sample;
-      const float* s = src + n * per_sample;
-      for (int64_t i = 0; i < per_sample; ++i) dst[i] = s[i] + b;
+  // Output channels write disjoint planes, so the split is deterministic.
+  core::parallel_for(0, out_channels_, 1, [&](int64_t oc0, int64_t oc1) {
+    for (int64_t oc = oc0; oc < oc1; ++oc) {
+      const float* src = pm + oc * total_cols;
+      const float b = pb[oc];
+      for (int64_t n = 0; n < last_batch_; ++n) {
+        float* dst = po + (n * out_channels_ + oc) * per_sample;
+        const float* s = src + n * per_sample;
+        for (int64_t i = 0; i < per_sample; ++i) dst[i] = s[i] + b;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -78,19 +82,23 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const float* pg = grad_output.data();
   float* pm = grad_out_mat_.data();
   float* pbg = bias_grad_.data();
-  for (int64_t oc = 0; oc < out_channels_; ++oc) {
-    float* dst = pm + oc * total_cols;
-    double bacc = 0.0;
-    for (int64_t n = 0; n < last_batch_; ++n) {
-      const float* src = pg + (n * out_channels_ + oc) * per_sample;
-      float* d = dst + n * per_sample;
-      for (int64_t i = 0; i < per_sample; ++i) {
-        d[i] = src[i];
-        bacc += src[i];
+  // Per-channel: the permuted row and the bias-grad slot are private to oc,
+  // and each channel's batch sum stays in the serial order.
+  core::parallel_for(0, out_channels_, 1, [&](int64_t oc0, int64_t oc1) {
+    for (int64_t oc = oc0; oc < oc1; ++oc) {
+      float* dst = pm + oc * total_cols;
+      double bacc = 0.0;
+      for (int64_t n = 0; n < last_batch_; ++n) {
+        const float* src = pg + (n * out_channels_ + oc) * per_sample;
+        float* d = dst + n * per_sample;
+        for (int64_t i = 0; i < per_sample; ++i) {
+          d[i] = src[i];
+          bacc += src[i];
+        }
       }
+      pbg[oc] += static_cast<float>(bacc);
     }
-    pbg[oc] += static_cast<float>(bacc);
-  }
+  });
 
   // dW += grad_mat [out_ch, cols] x cols^T [cols, rows]
   Tensor dw;

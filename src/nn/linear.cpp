@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "deco/core/thread_pool.h"
 #include "deco/nn/layers.h"
 #include "deco/tensor/check.h"
 
@@ -31,8 +32,11 @@ Tensor Linear::forward(const Tensor& input) {
   const int64_t n = out.dim(0);
   float* po = out.data();
   const float* pb = bias_.data();
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < out_features_; ++j) po[i * out_features_ + j] += pb[j];
+  core::parallel_for(0, n, 64, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i)
+      for (int64_t j = 0; j < out_features_; ++j)
+        po[i * out_features_ + j] += pb[j];
+  });
   return out;
 }
 
@@ -46,11 +50,15 @@ Tensor Linear::backward(const Tensor& grad_output) {
   const int64_t n = grad_output.dim(0);
   const float* pg = grad_output.data();
   float* pbg = bias_grad_.data();
-  for (int64_t j = 0; j < out_features_; ++j) {
-    double acc = 0.0;
-    for (int64_t i = 0; i < n; ++i) acc += pg[i * out_features_ + j];
-    pbg[j] += static_cast<float>(acc);
-  }
+  // Each output feature owns its bias-grad slot; the batch sum per feature
+  // keeps the serial order, so the split is bitwise deterministic.
+  core::parallel_for(0, out_features_, 16, [&](int64_t j0, int64_t j1) {
+    for (int64_t j = j0; j < j1; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) acc += pg[i * out_features_ + j];
+      pbg[j] += static_cast<float>(acc);
+    }
+  });
   return matmul(grad_output, weight_);
 }
 

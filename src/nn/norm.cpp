@@ -1,5 +1,7 @@
 #include <cmath>
+#include <vector>
 
+#include "deco/core/thread_pool.h"
 #include "deco/nn/layers.h"
 #include "deco/tensor/check.h"
 
@@ -42,28 +44,32 @@ Tensor InstanceNorm2d::forward(const Tensor& input) {
   const float* pg = gamma_.data();
   const float* pb = beta_.data();
 
-  for (int64_t nc = 0; nc < N * channels_; ++nc) {
-    const int64_t c = nc % channels_;
-    const float* src = pi + nc * M;
-    double mean = 0.0;
-    for (int64_t i = 0; i < M; ++i) mean += src[i];
-    mean /= static_cast<double>(M);
-    double var = 0.0;
-    for (int64_t i = 0; i < M; ++i) {
-      const double d = src[i] - mean;
-      var += d * d;
+  // Every (n, c) plane is normalized independently: disjoint writes, so the
+  // batch-parallel split is bitwise deterministic.
+  core::parallel_for(0, N * channels_, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      const int64_t c = nc % channels_;
+      const float* src = pi + nc * M;
+      double mean = 0.0;
+      for (int64_t i = 0; i < M; ++i) mean += src[i];
+      mean /= static_cast<double>(M);
+      double var = 0.0;
+      for (int64_t i = 0; i < M; ++i) {
+        const double d = src[i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(M);
+      const float inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      ps[nc] = inv;
+      float* xh = px + nc * M;
+      float* dst = po + nc * M;
+      const float g = pg[c], b = pb[c], mu = static_cast<float>(mean);
+      for (int64_t i = 0; i < M; ++i) {
+        xh[i] = (src[i] - mu) * inv;
+        dst[i] = g * xh[i] + b;
+      }
     }
-    var /= static_cast<double>(M);
-    const float inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
-    ps[nc] = inv;
-    float* xh = px + nc * M;
-    float* dst = po + nc * M;
-    const float g = pg[c], b = pb[c], mu = static_cast<float>(mean);
-    for (int64_t i = 0; i < M; ++i) {
-      xh[i] = (src[i] - mu) * inv;
-      dst[i] = g * xh[i] + b;
-    }
-  }
+  });
   return out;
 }
 
@@ -83,28 +89,42 @@ Tensor InstanceNorm2d::backward(const Tensor& grad_output) {
   float* pbg = beta_grad_.data();
   float* pdx = grad_input.data();
 
-  for (int64_t nc = 0; nc < N * channels_; ++nc) {
+  // Phase 1 (parallel): per-plane sums and dx — all writes are plane-local.
+  // Phase 2 (serial, ascending nc): fold the per-plane sums into the shared
+  // γ/β gradients in the fixed serial order, keeping the reduction bitwise
+  // identical for every thread count.
+  const int64_t planes = N * channels_;
+  std::vector<double> plane_sum_dy(static_cast<size_t>(planes));
+  std::vector<double> plane_sum_dy_xh(static_cast<size_t>(planes));
+  core::parallel_for(0, planes, 1, [&](int64_t nc0, int64_t nc1) {
+    for (int64_t nc = nc0; nc < nc1; ++nc) {
+      const int64_t c = nc % channels_;
+      const float* dy = pdy + nc * M;
+      const float* xh = px + nc * M;
+      float* dx = pdx + nc * M;
+      const float g = pg[c];
+      const float inv = ps[nc];
+
+      double sum_dy = 0.0, sum_dy_xh = 0.0;
+      for (int64_t i = 0; i < M; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xh += static_cast<double>(dy[i]) * xh[i];
+      }
+      plane_sum_dy[static_cast<size_t>(nc)] = sum_dy;
+      plane_sum_dy_xh[static_cast<size_t>(nc)] = sum_dy_xh;
+
+      const float mean_dy = static_cast<float>(sum_dy / M);
+      const float mean_dy_xh = static_cast<float>(sum_dy_xh / M);
+      // dx = γ·inv_std·(dy − mean(dy) − x̂·mean(dy·x̂))
+      for (int64_t i = 0; i < M; ++i) {
+        dx[i] = g * inv * (dy[i] - mean_dy - xh[i] * mean_dy_xh);
+      }
+    }
+  });
+  for (int64_t nc = 0; nc < planes; ++nc) {
     const int64_t c = nc % channels_;
-    const float* dy = pdy + nc * M;
-    const float* xh = px + nc * M;
-    float* dx = pdx + nc * M;
-    const float g = pg[c];
-    const float inv = ps[nc];
-
-    double sum_dy = 0.0, sum_dy_xh = 0.0;
-    for (int64_t i = 0; i < M; ++i) {
-      sum_dy += dy[i];
-      sum_dy_xh += static_cast<double>(dy[i]) * xh[i];
-    }
-    pbg[c] += static_cast<float>(sum_dy);
-    pgg[c] += static_cast<float>(sum_dy_xh);
-
-    const float mean_dy = static_cast<float>(sum_dy / M);
-    const float mean_dy_xh = static_cast<float>(sum_dy_xh / M);
-    // dx = γ·inv_std·(dy − mean(dy) − x̂·mean(dy·x̂))
-    for (int64_t i = 0; i < M; ++i) {
-      dx[i] = g * inv * (dy[i] - mean_dy - xh[i] * mean_dy_xh);
-    }
+    pbg[c] += static_cast<float>(plane_sum_dy[static_cast<size_t>(nc)]);
+    pgg[c] += static_cast<float>(plane_sum_dy_xh[static_cast<size_t>(nc)]);
   }
   return grad_input;
 }

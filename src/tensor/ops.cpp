@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "deco/core/thread_pool.h"
 #include "deco/tensor/check.h"
 
 namespace deco {
@@ -17,6 +18,16 @@ void ensure_shape(Tensor& t, std::vector<int64_t> shape) {
     t = Tensor(std::move(shape));
   }
 }
+
+// Rows per parallel chunk, sized so a chunk carries ~64k scalar ops: small
+// kernels collapse to one chunk (pure serial, no dispatch overhead), large
+// ones split into enough chunks to load every worker. The grain is a pure
+// function of the problem shape — never of the thread count — which is what
+// keeps chunked reductions bitwise deterministic (see thread_pool.h).
+int64_t row_grain(int64_t work_per_row) {
+  constexpr int64_t kChunkWork = 1 << 16;
+  return std::max<int64_t>(1, kChunkWork / std::max<int64_t>(1, work_per_row));
+}
 }  // namespace
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -29,17 +40,20 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j order: streams B and OUT rows, good locality on one core.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  // i-k-j order: streams B and OUT rows. Output rows are disjoint, so the
+  // row-blocked parallel split is bitwise deterministic for any thread count.
+  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -58,17 +72,20 @@ void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // out[i,j] = sum_k a[k,i]*b[k,j]; iterate k outermost to stream both inputs.
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
+  // out[i,j] = sum_k a[k,i]*b[k,j]. Output rows are disjoint across i, and
+  // each out[i,j] accumulates in ascending k exactly as the serial k-outer
+  // ordering did, so the row-blocked split keeps results bit-for-bit.
+  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
       float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aki = pa[kk * m + i];
+        if (aki == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+      }
     }
-  }
+  });
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -86,25 +103,27 @@ void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* orow = po + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      // Four float partial sums: vectorizes well and keeps rounding error
-      // ~O(k/4) instead of O(k) for the long dot products of conv backward.
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      int64_t kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        acc0 += arow[kk] * brow[kk];
-        acc1 += arow[kk + 1] * brow[kk + 1];
-        acc2 += arow[kk + 2] * brow[kk + 2];
-        acc3 += arow[kk + 3] * brow[kk + 3];
+  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        // Four float partial sums: vectorizes well and keeps rounding error
+        // ~O(k/4) instead of O(k) for the long dot products of conv backward.
+        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+        int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          acc0 += arow[kk] * brow[kk];
+          acc1 += arow[kk + 1] * brow[kk + 1];
+          acc2 += arow[kk + 2] * brow[kk + 2];
+          acc3 += arow[kk + 3] * brow[kk + 3];
+        }
+        for (; kk < k; ++kk) acc0 += arow[kk] * brow[kk];
+        orow[j] = (acc0 + acc1) + (acc2 + acc3);
       }
-      for (; kk < k; ++kk) acc0 += arow[kk] * brow[kk];
-      orow[j] = (acc0 + acc1) + (acc2 + acc3);
     }
-  }
+  });
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -143,31 +162,31 @@ void im2col_into(const Tensor& input, const Conv2dGeometry& g, Tensor& cols) {
   float* pc = cols.data();
   const int64_t total_cols = N * cols_per_sample;
 
-  for (int64_t c = 0; c < g.in_channels; ++c) {
-    for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
-      for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
-        const int64_t row = (c * g.kernel_h + ky) * g.kernel_w + kx;
-        float* out_row = pc + row * total_cols;
-        for (int64_t n = 0; n < N; ++n) {
-          const float* img = pi + (n * g.in_channels + c) * g.in_h * g.in_w;
-          float* dst = out_row + n * cols_per_sample;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * g.stride + ky - g.padding;
-            if (iy < 0 || iy >= g.in_h) {
-              std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
-              continue;
-            }
-            const float* src_row = img + iy * g.in_w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * g.stride + kx - g.padding;
-              dst[oy * ow + ox] =
-                  (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
-            }
+  // Each (c, ky, kx) triple owns one disjoint output row of `cols`.
+  core::parallel_for(0, rows, row_grain(total_cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t row = r0; row < r1; ++row) {
+      const int64_t kx = row % g.kernel_w;
+      const int64_t ky = (row / g.kernel_w) % g.kernel_h;
+      const int64_t c = row / (g.kernel_w * g.kernel_h);
+      float* out_row = pc + row * total_cols;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* img = pi + (n * g.in_channels + c) * g.in_h * g.in_w;
+        float* dst = out_row + n * cols_per_sample;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src_row = img + iy * g.in_w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride + kx - g.padding;
+            dst[oy * ow + ox] = (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
           }
         }
       }
     }
-  }
+  });
 }
 
 void col2im_into(const Tensor& cols, const Conv2dGeometry& g, Tensor& grad_input) {
@@ -186,27 +205,35 @@ void col2im_into(const Tensor& cols, const Conv2dGeometry& g, Tensor& grad_input
   const float* pc = cols.data();
   float* pi = grad_input.data();
 
-  for (int64_t c = 0; c < g.in_channels; ++c) {
-    for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
-      for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
-        const int64_t row = (c * g.kernel_h + ky) * g.kernel_w + kx;
-        const float* in_row = pc + row * total_cols;
-        for (int64_t n = 0; n < N; ++n) {
+  // Kernel taps of one channel overlap in the gradient image, so the split
+  // is over disjoint (c, n) planes instead; within a plane the taps run in
+  // the serial (ky, kx) order, keeping each pixel's accumulation order — and
+  // therefore the float result — identical for every thread count.
+  const int64_t plane_work = g.kernel_h * g.kernel_w * cols_per_sample;
+  core::parallel_for(
+      0, g.in_channels * N, row_grain(plane_work),
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          const int64_t c = p / N;
+          const int64_t n = p % N;
           float* img = pi + (n * g.in_channels + c) * g.in_h * g.in_w;
-          const float* src = in_row + n * cols_per_sample;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * g.stride + ky - g.padding;
-            if (iy < 0 || iy >= g.in_h) continue;
-            float* dst_row = img + iy * g.in_w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * g.stride + kx - g.padding;
-              if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[oy * ow + ox];
+          for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const int64_t row = (c * g.kernel_h + ky) * g.kernel_w + kx;
+              const float* src = pc + row * total_cols + n * cols_per_sample;
+              for (int64_t oy = 0; oy < oh; ++oy) {
+                const int64_t iy = oy * g.stride + ky - g.padding;
+                if (iy < 0 || iy >= g.in_h) continue;
+                float* dst_row = img + iy * g.in_w;
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                  const int64_t ix = ox * g.stride + kx - g.padding;
+                  if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[oy * ow + ox];
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 void softmax_rows_into(const Tensor& logits, Tensor& probs) {
@@ -215,19 +242,21 @@ void softmax_rows_into(const Tensor& logits, Tensor& probs) {
   ensure_shape(probs, {r, c});
   const float* pl = logits.data();
   float* pp = probs.data();
-  for (int64_t i = 0; i < r; ++i) {
-    const float* in = pl + i * c;
-    float* out = pp + i * c;
-    float mx = in[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
-    double sum = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      out[j] = std::exp(in[j] - mx);
-      sum += out[j];
+  core::parallel_for(0, r, row_grain(4 * c), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* in = pl + i * c;
+      float* out = pp + i * c;
+      float mx = in[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+      double sum = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        sum += out[j];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t j = 0; j < c; ++j) out[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t j = 0; j < c; ++j) out[j] *= inv;
-  }
+  });
 }
 
 Tensor softmax_rows(const Tensor& logits) {
@@ -242,16 +271,19 @@ void log_softmax_rows_into(const Tensor& logits, Tensor& out) {
   ensure_shape(out, {r, c});
   const float* pl = logits.data();
   float* po = out.data();
-  for (int64_t i = 0; i < r; ++i) {
-    const float* in = pl + i * c;
-    float* o = po + i * c;
-    float mx = in[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
-    double sum = 0.0;
-    for (int64_t j = 0; j < c; ++j) sum += std::exp(static_cast<double>(in[j]) - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t j = 0; j < c; ++j) o[j] = in[j] - lse;
-  }
+  core::parallel_for(0, r, row_grain(4 * c), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* in = pl + i * c;
+      float* o = po + i * c;
+      float mx = in[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+      double sum = 0.0;
+      for (int64_t j = 0; j < c; ++j)
+        sum += std::exp(static_cast<double>(in[j]) - mx);
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (int64_t j = 0; j < c; ++j) o[j] = in[j] - lse;
+    }
+  });
 }
 
 std::vector<int64_t> argmax_rows(const Tensor& t) {
@@ -289,12 +321,18 @@ void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+  core::parallel_for(0, a.numel(), 1 << 16, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = pa[i] - pb[i];
+  });
 }
 
 void copy_into(const Tensor& src, Tensor& dst) {
   ensure_shape(dst, src.shape());
-  std::copy(src.data(), src.data() + src.numel(), dst.data());
+  const float* ps = src.data();
+  float* pd = dst.data();
+  core::parallel_for(0, src.numel(), 1 << 17, [&](int64_t i0, int64_t i1) {
+    std::copy(ps + i0, ps + i1, pd + i0);
+  });
 }
 
 Tensor row(const Tensor& t, int64_t r) {

@@ -1,0 +1,131 @@
+// Golden-value regression test: a tiny fixed-seed DECO run (3 classes, 8×8
+// frames, 2 stream segments) whose scalar outputs are pinned against the
+// committed fixture tests/golden/learner_small.txt at 1e-6 tolerance. Any
+// change to the numerics — kernels, layer order, rng consumption, condenser
+// update rule — shows up here as a precise diff instead of a silent drift.
+//
+// Regenerating the fixture (after an INTENDED numeric change):
+//
+//   DECO_REGEN_GOLDEN=1 ./deco_tests --gtest_filter='GoldenRegression*'
+//
+// then commit the rewritten tests/golden/learner_small.txt together with the
+// change that motivated it, and say why in the commit message. The file is
+// found via the DECO_SOURCE_DIR compile definition, so regeneration works
+// from any build directory.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "deco/core/learner.h"
+#include "deco/data/world.h"
+#include "deco/eval/metrics.h"
+#include "deco/nn/convnet.h"
+
+namespace deco {
+namespace {
+
+const char* kGoldenRelPath = "/tests/golden/learner_small.txt";
+
+std::string golden_path() { return std::string(DECO_SOURCE_DIR) + kGoldenRelPath; }
+
+// One deterministic tiny run; every scalar it returns is golden-pinned.
+// Ordered map so the regenerated fixture is stable line-for-line.
+std::map<std::string, double> run_scenario() {
+  data::DatasetSpec spec = data::icub1_spec();
+  spec.num_classes = 3;
+  spec.height = spec.width = 8;
+
+  Rng rng(41);
+  nn::ConvNetConfig mc;
+  mc.in_channels = 3;
+  mc.image_h = mc.image_w = 8;
+  mc.num_classes = 3;
+  mc.width = 8;
+  mc.depth = 2;
+  nn::ConvNet model(mc, rng);
+
+  data::ProceduralImageWorld world(spec, 9);
+  data::Dataset labeled = world.make_labeled_set(3, 1);
+  data::Dataset test = world.make_test_set(6, 2);
+
+  core::DecoConfig cfg;
+  cfg.ipc = 2;
+  cfg.beta = 2;  // the second segment triggers a model update
+  cfg.model_update_epochs = 3;
+  cfg.condenser.iterations = 2;
+  core::DecoLearner learner(model, cfg, 51);
+  learner.init_buffer_from(labeled);
+
+  std::map<std::string, double> out;
+  out["pretrain_accuracy"] = eval::accuracy(model, test);
+  for (int64_t seg = 0; seg < 2; ++seg) {
+    Tensor images({6, 3, 8, 8});
+    for (int64_t i = 0; i < 6; ++i) {
+      Tensor img = world.render((seg + i) % 3, 0, 0, 500 + seg * 16 + i);
+      std::copy(img.data(), img.data() + img.numel(),
+                images.data() + i * img.numel());
+    }
+    core::SegmentReport rep = learner.observe_segment(images);
+    const std::string pre = "segment" + std::to_string(seg) + "_";
+    out[pre + "condense_distance"] = rep.condense_distance;
+    out[pre + "active_classes"] = static_cast<double>(rep.active_class_count);
+    out[pre + "retained"] = static_cast<double>(rep.retained.size());
+    double label_sum = 0.0;
+    for (int64_t l : rep.pseudo_labels) label_sum += static_cast<double>(l);
+    out[pre + "pseudo_label_sum"] = label_sum;
+  }
+  out["final_accuracy"] = eval::accuracy(model, test);
+
+  const Tensor& buf = learner.buffer().images();
+  double sum = 0.0;
+  for (int64_t i = 0; i < buf.numel(); ++i) sum += buf[i];
+  out["buffer_mean"] = sum / static_cast<double>(buf.numel());
+  out["buffer_min"] = buf.min();
+  out["buffer_max"] = buf.max();
+  return out;
+}
+
+std::map<std::string, double> read_golden(const std::string& path) {
+  std::ifstream in(path);
+  std::map<std::string, double> out;
+  std::string key;
+  double value = 0.0;
+  while (in >> key >> value) out[key] = value;
+  return out;
+}
+
+void write_golden(const std::string& path,
+                  const std::map<std::string, double>& values) {
+  std::ofstream out(path);
+  out.precision(12);
+  for (const auto& [key, value] : values) out << key << " " << value << "\n";
+}
+
+TEST(GoldenRegression, TinyLearnerRunMatchesFixture) {
+  const std::map<std::string, double> got = run_scenario();
+
+  if (std::getenv("DECO_REGEN_GOLDEN") != nullptr) {
+    write_golden(golden_path(), got);
+    SUCCEED() << "regenerated " << golden_path();
+    return;
+  }
+
+  const std::map<std::string, double> want = read_golden(golden_path());
+  ASSERT_FALSE(want.empty())
+      << "missing fixture " << golden_path()
+      << " — run with DECO_REGEN_GOLDEN=1 to create it";
+  ASSERT_EQ(got.size(), want.size()) << "scenario keys changed; regenerate";
+  for (const auto& [key, expected] : want) {
+    const auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << "scenario no longer produces " << key;
+    const double tol = 1e-6 * std::max(1.0, std::abs(expected));
+    EXPECT_NEAR(it->second, expected, tol) << "golden drift in " << key;
+  }
+}
+
+}  // namespace
+}  // namespace deco

@@ -50,6 +50,19 @@ TEST(OpsTest, MatmulNtEqualsMatmulWithTransposed) {
                      1e-4f);
 }
 
+TEST(OpsTest, MatmulNtRemainderInnerDims) {
+  // matmul_nt unrolls the inner dot product 4-wide; cover every k % 4
+  // residue (and k smaller than the unroll width) so the remainder loop is
+  // exercised on its own and mixed with full blocks.
+  Rng rng(19);
+  for (int64_t k : {1, 2, 3, 5, 6, 7, 9, 11}) {
+    Tensor a = random_tensor({3, k}, rng);
+    Tensor b = random_tensor({4, k}, rng);
+    expect_tensor_near(matmul_nt(a, b), naive_matmul(a, transpose2d(b)), 1e-4f,
+                       1e-4f);
+  }
+}
+
 TEST(OpsTest, MatmulShapeMismatchThrows) {
   Tensor a({2, 3});
   Tensor b({4, 5});
