@@ -1,6 +1,7 @@
 #include "deco/core/thread_pool.h"
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "deco/tensor/check.h"
 
 namespace deco::core {
 
@@ -18,42 +21,53 @@ thread_local bool tl_in_pool_task = false;
 }  // namespace
 
 struct ThreadPool::Impl {
+  // Per-job state lives on the heap and is pinned by shared_ptr: a worker
+  // that wakes late (after the job it was signalled for has been finished by
+  // the other threads and run() has returned) still holds *that* job, whose
+  // claim counter is exhausted, so it can neither dereference the caller's
+  // dead task function nor steal chunks from a newer job.
+  struct Job {
+    const std::function<void(int64_t)>* task = nullptr;
+    int64_t total_chunks = 0;
+    std::atomic<int64_t> next_chunk{0};
+    // Guarded by the pool mutex:
+    int64_t done_chunks = 0;
+    std::exception_ptr first_error;
+  };
+
   std::vector<std::thread> workers;
 
   std::mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
 
-  // One "job" at a time; epoch bumps wake the workers.
-  const std::function<void(int64_t)>* task = nullptr;
-  int64_t total_chunks = 0;
-  int64_t done_chunks = 0;
+  // One "job" at a time; epoch bumps wake the workers. Both fields are
+  // guarded by mu, and workers copy `job` in the same critical section in
+  // which they observe the epoch change, so the pair is always consistent.
+  std::shared_ptr<Job> job;
   uint64_t epoch = 0;
   bool stop = false;
-  std::exception_ptr first_error;
 
-  std::atomic<int64_t> next_chunk{0};
-
-  // Claims and executes chunks until none remain; returns how many it ran.
-  int64_t drain() {
-    const std::function<void(int64_t)>* t = task;  // stable during a job
-    const int64_t total = total_chunks;
+  // Claims and executes chunks of `j` until none remain; returns how many it
+  // ran. Safe on an already-finished job: the first claim overshoots and the
+  // loop exits without touching j.task.
+  int64_t drain(Job& j) {
     int64_t did = 0;
     for (;;) {
-      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= total) break;
+      const int64_t c = j.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= j.total_chunks) break;
       {
         std::lock_guard<std::mutex> lk(mu);
-        if (first_error) {  // an earlier chunk threw: finish without running
+        if (j.first_error) {  // an earlier chunk threw: finish without running
           ++did;
           continue;
         }
       }
       try {
-        (*t)(c);
+        (*j.task)(c);
       } catch (...) {
         std::lock_guard<std::mutex> lk(mu);
-        if (!first_error) first_error = std::current_exception();
+        if (!j.first_error) j.first_error = std::current_exception();
       }
       ++did;
     }
@@ -63,19 +77,24 @@ struct ThreadPool::Impl {
   void worker_loop() {
     uint64_t seen = 0;
     for (;;) {
+      std::shared_ptr<Job> j;
       {
         std::unique_lock<std::mutex> lk(mu);
         cv_work.wait(lk, [&] { return stop || epoch != seen; });
         if (stop) return;
         seen = epoch;
+        j = job;  // copied under mu together with the epoch it belongs to
       }
+      // The job may already be finished and cleared from the slot by the
+      // time a slow-waking worker gets here; there is nothing left to run.
+      if (j == nullptr) continue;
       tl_in_pool_task = true;
-      const int64_t did = drain();
+      const int64_t did = drain(*j);
       tl_in_pool_task = false;
       {
         std::lock_guard<std::mutex> lk(mu);
-        done_chunks += did;
-        if (done_chunks == total_chunks) cv_done.notify_all();
+        j->done_chunks += did;
+        if (j->done_chunks == j->total_chunks) cv_done.notify_all();
       }
     }
   }
@@ -92,6 +111,9 @@ ThreadPool::ThreadPool(int threads) : impl_(new Impl), workers_count_(0) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
+    // run() clears the job slot before returning, so a live job here means
+    // the pool is being destroyed while parallel work is in flight.
+    assert(impl_->job == nullptr && "ThreadPool destroyed with a job in flight");
     impl_->stop = true;
   }
   impl_->cv_work.notify_all();
@@ -112,31 +134,31 @@ void ThreadPool::run(int64_t num_chunks,
     return;
   }
 
+  auto j = std::make_shared<Impl::Job>();
+  j->task = &task;
+  j->total_chunks = num_chunks;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
-    impl_->task = &task;
-    impl_->total_chunks = num_chunks;
-    impl_->done_chunks = 0;
-    impl_->first_error = nullptr;
-    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->job = j;
     ++impl_->epoch;
   }
   impl_->cv_work.notify_all();
 
   // The caller participates instead of idling.
   tl_in_pool_task = true;
-  const int64_t did = impl_->drain();
+  const int64_t did = impl_->drain(*j);
   tl_in_pool_task = false;
 
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lk(impl_->mu);
-    impl_->done_chunks += did;
-    impl_->cv_done.wait(
-        lk, [&] { return impl_->done_chunks == impl_->total_chunks; });
-    impl_->task = nullptr;
-    err = impl_->first_error;
-    impl_->first_error = nullptr;
+    j->done_chunks += did;
+    impl_->cv_done.wait(lk, [&] { return j->done_chunks == j->total_chunks; });
+    err = j->first_error;
+    // Drop the slot's reference so the dangling task pointer inside the job
+    // cannot outlive this call via the pool itself; late workers keep their
+    // own (exhausted) reference alive independently.
+    if (impl_->job == j) impl_->job.reset();
   }
   if (err) std::rethrow_exception(err);
 }
@@ -167,6 +189,11 @@ ThreadPool& global_pool() { return *global_pool_slot(); }
 int num_threads() { return global_pool().threads(); }
 
 void set_num_threads(int threads) {
+  // Rebuilding the pool destroys the live workers; doing that from inside a
+  // pool task (or with a job in flight — caught by the assert in
+  // ~ThreadPool) would be a use-after-free. Fail loudly instead.
+  DECO_CHECK(!ThreadPool::in_worker(),
+             "set_num_threads() called from inside a pool task");
   global_pool_slot() = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
 }
 

@@ -21,6 +21,7 @@
 #include "deco/data/world.h"
 #include "deco/nn/convnet.h"
 #include "deco/nn/loss.h"
+#include "deco/tensor/check.h"
 #include "deco/tensor/ops.h"
 #include "test_util.h"
 
@@ -99,6 +100,41 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
     }
   });
   EXPECT_EQ(total.load(), 8 * 100);
+  core::set_num_threads(saved);
+}
+
+TEST(ThreadPoolTest, RapidJobBoundariesNeverRunStaleTasks) {
+  // Regression test for a job-handoff race: a worker that woke for job N but
+  // was preempted before claiming a chunk must not execute job N's (by then
+  // destroyed) task against job N+1's chunk counter. Many back-to-back tiny
+  // jobs maximize late wakeups; each task writes its own job id, so a stale
+  // execution shows up as a wrong or missing value (and as a use-after-free
+  // under TSan/ASan, since each std::function dies when its run returns).
+  const int saved = core::num_threads();
+  core::set_num_threads(4);
+  for (int job = 0; job < 2000; ++job) {
+    const int64_t chunks = 2 + job % 3;  // >1 so the pool path is taken
+    std::vector<int> got(static_cast<size_t>(chunks), -1);
+    core::run_chunks(chunks,
+                     [&](int64_t c) { got[static_cast<size_t>(c)] = job; });
+    for (int64_t c = 0; c < chunks; ++c)
+      ASSERT_EQ(got[static_cast<size_t>(c)], job)
+          << "chunk " << c << " of job " << job << " ran a stale task";
+  }
+  core::set_num_threads(saved);
+}
+
+TEST(ThreadPoolTest, SetNumThreadsInsidePoolTaskThrows) {
+  // Rebuilding the pool from inside a task would destroy the very workers
+  // executing it; the guard must fail loudly instead.
+  const int saved = core::num_threads();
+  core::set_num_threads(2);
+  EXPECT_THROW(core::run_chunks(4, [](int64_t) { core::set_num_threads(1); }),
+               Error);
+  EXPECT_EQ(core::num_threads(), 2);  // pool unchanged and still usable
+  std::atomic<int64_t> count{0};
+  core::run_chunks(4, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
   core::set_num_threads(saved);
 }
 
