@@ -1,0 +1,153 @@
+// CI perf-smoke gate. Two checks, exit code is the verdict:
+//
+//   1. The packed GEMM must not be slower than the naive i-k-j kernel at
+//      192² on this runner. The bar is deliberately generous (packed must
+//      reach 80% of naive speed; on real hardware it is several times
+//      faster) so a noisy single-core CI container cannot flake the gate
+//      while a genuine blocking/packing regression still trips it.
+//
+//   2. A 20-step learner run must perform ZERO hot-path heap allocations in
+//      steady state: after warm-up every recurring tensor is served from the
+//      buffer pool and every kernel scratch request from the thread's
+//      workspace arena, so core::memstats().hot_allocs() holds flat over the
+//      final 8 segments. Warm-up is 12 segments because bounded one-time
+//      events land late (e.g. a class first crossing the majority-voting
+//      threshold changes a gather shape and warms a fresh pool bucket).
+//      Single-threaded, with a fixed input segment, so the allocation
+//      sequence is deterministic across machines.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+
+#include "deco/core/learner.h"
+#include "deco/core/thread_pool.h"
+#include "deco/core/workspace.h"
+#include "deco/data/world.h"
+#include "deco/nn/convnet.h"
+#include "deco/tensor/ops.h"
+#include "deco/tensor/rng.h"
+
+namespace {
+
+using namespace deco;
+
+double time_ms(const std::function<void()>& op) {
+  using clock = std::chrono::steady_clock;
+  op();  // warm-up
+  auto t0 = clock::now();
+  op();
+  const double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const int iters = std::max(5, static_cast<int>(0.3 / std::max(once, 1e-6)));
+  t0 = clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  return std::chrono::duration<double>(clock::now() - t0).count() / iters * 1e3;
+}
+
+bool check_gemm_not_slower_than_naive() {
+  const int64_t n = 192;
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0, 1);
+  rng.fill_normal(b, 0, 1);
+  Tensor out({n, n}), ref({n, n});
+
+  const double packed_ms = time_ms([&] { matmul_into(a, b, out); });
+  const double naive_ms = time_ms([&] {
+    // The pre-blocking kernel, as the in-binary baseline.
+    ref.zero();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = ref.data();
+    for (int64_t i = 0; i < n; ++i) {
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < n; ++kk) {
+        const float aik = pa[i * n + kk];
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  });
+
+  const bool ok = packed_ms <= naive_ms / 0.8;
+  std::cout << "[gemm_192] packed " << packed_ms << " ms, naive " << naive_ms
+            << " ms (speedup " << naive_ms / packed_ms << "x) -> "
+            << (ok ? "OK" : "FAIL") << "\n";
+  if (!ok)
+    std::cout << "  packed GEMM is below 80% of naive throughput; the "
+                 "blocking/packing path has regressed\n";
+  return ok;
+}
+
+bool check_learner_steady_state_allocations() {
+  data::DatasetSpec spec = data::icub1_spec();
+  spec.num_classes = 4;
+  data::ProceduralImageWorld world(spec, 7);
+  data::Dataset labeled = world.make_labeled_set(3, 1);
+
+  Rng rng(21);
+  nn::ConvNetConfig mc;
+  mc.in_channels = 3;
+  mc.image_h = mc.image_w = 16;
+  mc.num_classes = 4;
+  mc.width = 8;
+  mc.depth = 2;
+  nn::ConvNet model(mc, rng);
+
+  core::DecoConfig cfg;
+  cfg.ipc = 2;
+  cfg.beta = 2;  // warm-up covers both plain and model-update segments
+  cfg.model_update_epochs = 2;
+  cfg.condenser.iterations = 2;
+  core::DecoLearner learner(model, cfg, 31);
+  learner.init_buffer_from(labeled);
+
+  // One fixed segment replayed every step: shapes (and therefore the
+  // allocation sequence) are identical across steps, so after warm-up every
+  // buffer request recurs.
+  Tensor images({6, 3, 16, 16});
+  for (int64_t i = 0; i < 6; ++i) {
+    Tensor img = world.render(i % 4, 0, 0, 300 + i);
+    std::copy(img.data(), img.data() + img.numel(),
+              images.data() + i * img.numel());
+  }
+
+  core::MemStatsSnapshot base;
+  for (int step = 0; step < 20; ++step) {
+    learner.observe_segment(images);
+    if (step == 11) base = core::memstats();
+  }
+  const core::MemStatsSnapshot end = core::memstats();
+
+  const int64_t new_tensor_allocs = end.tensor_heap_allocs - base.tensor_heap_allocs;
+  const int64_t new_ws_blocks = end.workspace_blocks - base.workspace_blocks;
+  const int64_t delta = end.hot_allocs() - base.hot_allocs();
+  const bool ok = delta == 0;
+  std::cout << "[learner_alloc] steps 13-20: " << new_tensor_allocs
+            << " tensor heap allocs, " << new_ws_blocks
+            << " workspace blocks (pool hits "
+            << end.tensor_pool_hits - base.tensor_pool_hits << ") -> "
+            << (ok ? "OK" : "FAIL") << "\n";
+  const core::WorkspaceStats ws = core::Workspace::aggregate();
+  std::cout << "[learner_alloc] workspace: " << ws.arenas << " arena(s), "
+            << ws.bytes_reserved << " bytes reserved, high water "
+            << ws.high_water_bytes << " bytes\n";
+  if (!ok)
+    std::cout << "  steady-state learner steps hit the heap; a hot-path "
+                 "buffer stopped being reused\n";
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  // Single-threaded: one workspace arena, deterministic allocation order,
+  // and the GEMM comparison measures the kernel rather than the scheduler.
+  core::set_num_threads(1);
+  int failures = 0;
+  if (!check_gemm_not_slower_than_naive()) ++failures;
+  if (!check_learner_steady_state_allocations()) ++failures;
+  std::cout << (failures == 0 ? "perf-smoke: PASS" : "perf-smoke: FAIL")
+            << "\n";
+  return failures;
+}

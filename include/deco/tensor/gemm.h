@@ -1,0 +1,26 @@
+// Cache-blocked, register-tiled GEMM shared by the matmul_* kernels.
+//
+// One strided entry point covers all three public variants (NN, Tᵀ·N, N·Bᵀ):
+// the operands are described by row/column strides, the kernel packs them
+// into contiguous aligned panels, and a fixed microkernel does the flops.
+// See src/tensor/gemm.cpp for the blocking scheme and the determinism
+// argument, and docs/EXTENDING.md for how to tune the block sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace deco::detail {
+
+/// C (row-major, m×n, contiguous) = A·B, or C += A·B when `accumulate`.
+///
+/// A is m×k with A(i,kk) = a[i*a_rs + kk*a_cs];
+/// B is k×n with B(kk,j) = b[kk*b_rs + j*b_cs].
+/// `c` must not alias `a` or `b`. Results are bitwise identical for every
+/// thread count (the accumulation order per output element is a pure
+/// function of k and the KC block size).
+void gemm_strided(int64_t m, int64_t n, int64_t k,
+                  const float* a, int64_t a_rs, int64_t a_cs,
+                  const float* b, int64_t b_rs, int64_t b_cs,
+                  float* c, bool accumulate);
+
+}  // namespace deco::detail

@@ -13,19 +13,29 @@
 namespace deco {
 
 // ---- GEMM -------------------------------------------------------------------
-// All matrices are row-major 2-D tensors.
+// All matrices are row-major 2-D tensors. Every variant runs the packed
+// blocked kernel in tensor/gemm.h; `out` must not alias an input. The
+// `*_acc_into` forms compute out += A·B into an already-shaped output —
+// layer backward passes use them to fold gradients straight into the
+// accumulator tensor with no temporary.
 
 /// out = A[m,k] * B[k,n]
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// out += A[m,k] * B[k,n]; out must already be [m,n].
+void matmul_acc_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// out = A[k,m]^T * B[k,n]  (i.e. out[m,n] = sum_k A[k,m]*B[k,n])
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// out += A[k,m]^T * B[k,n]; out must already be [m,n].
+void matmul_tn_acc_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// out = A[m,k] * B[n,k]^T  (i.e. out[m,n] = sum_k A[m,k]*B[n,k])
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out);
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// out += A[m,k] * B[n,k]^T; out must already be [m,n].
+void matmul_nt_acc_into(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// out[c, r] = in[r, c]
 void transpose2d_into(const Tensor& in, Tensor& out);

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "deco/tensor/buffer_pool.h"
+
 namespace deco {
 
 class Tensor {
@@ -28,8 +30,8 @@ class Tensor {
   explicit Tensor(std::vector<int64_t> shape);
   Tensor(std::initializer_list<int64_t> shape);
 
-  /// Tensor of the given shape adopting `values` (size must match).
-  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+  /// Tensor of the given shape holding a copy of `values` (size must match).
+  Tensor(std::vector<int64_t> shape, const std::vector<float>& values);
 
   // ---- factories -----------------------------------------------------------
   static Tensor zeros(std::vector<int64_t> shape);
@@ -41,7 +43,7 @@ class Tensor {
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t dim(int64_t i) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
@@ -54,11 +56,9 @@ class Tensor {
   // ---- element access ------------------------------------------------------
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
 
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data_.data()[i]; }
+  float operator[](int64_t i) const { return data_.data()[i]; }
 
   /// 2-D indexed access (row-major). Bounds-checked in debug builds only.
   float& at2(int64_t r, int64_t c);
@@ -102,7 +102,7 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  detail::FloatStore data_;
 };
 
 /// Flat dot product of two same-numel tensors.

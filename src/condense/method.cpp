@@ -102,19 +102,24 @@ void validate_context(const CondenseContext& ctx) {
 
 // ---- guard support: row-restricted snapshot/restore -------------------------
 
-Tensor gather_rows(const Tensor& full, const std::vector<int64_t>& rows,
-                   int64_t per) {
-  Tensor out({static_cast<int64_t>(rows.size()), per});
+// Gathers into a caller-owned tensor so the per-iteration snapshot loop can
+// reuse its buffers instead of allocating fresh ones each matching step.
+void gather_rows_into(const Tensor& full, const std::vector<int64_t>& rows,
+                      int64_t per, Tensor& out) {
+  const int64_t n_rows = static_cast<int64_t>(rows.size());
+  if (out.numel() != n_rows * per) {
+    out = Tensor({n_rows, per});
+  } else {
+    out.reshape({n_rows, per});
+  }
   const float* src = full.data();
   float* dst = out.data();
-  const int64_t n_rows = static_cast<int64_t>(rows.size());
   core::parallel_for(0, n_rows, rows_grain(per), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const int64_t r = rows[static_cast<size_t>(i)];
       std::copy(src + r * per, src + (r + 1) * per, dst + i * per);
     }
   });
-  return out;
 }
 
 void scatter_rows(Tensor& full, const std::vector<int64_t>& rows,
@@ -251,19 +256,23 @@ void DecoCondenser::condense(const CondenseContext& ctx) {
   };
 
   if (!config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
+  RowSnapshot snap;  // hoisted: its buffers are reused every iteration
   for (int64_t l = 0; l < config_.iterations; ++l) {
     // Fresh random model each iteration — the one-step strategy replaces the
     // bilevel inner loop with re-randomization (Section III-C).
     if (config_.rerandomize_each_iteration) scratch_->reinitialize(rng_);
 
-    RowSnapshot snap;
     if (guard != nullptr) {
-      snap.images = gather_rows(buf.images(), active_rows, per);
-      snap.velocity = gather_rows(velocity_, active_rows, per);
+      gather_rows_into(buf.images(), active_rows, per, snap.images);
+      gather_rows_into(velocity_, active_rows, per, snap.velocity);
       if (soft) {
-        snap.logits = gather_rows(buf.label_logits(), active_rows, C);
-        if (velocity_labels_.numel() == buf.label_logits().numel())
-          snap.vel_labels = gather_rows(velocity_labels_, active_rows, C);
+        gather_rows_into(buf.label_logits(), active_rows, C, snap.logits);
+        if (velocity_labels_.numel() == buf.label_logits().numel()) {
+          gather_rows_into(velocity_labels_, active_rows, C, snap.vel_labels);
+        } else {
+          // No label velocity yet: restore() keys off an empty snapshot.
+          snap.vel_labels = Tensor();
+        }
       }
     }
 

@@ -100,10 +100,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
   });
 
-  // dW += grad_mat [out_ch, cols] x cols^T [cols, rows]
-  Tensor dw;
-  matmul_nt_into(grad_out_mat_, cols_, dw);
-  weight_grad_.add_(dw);
+  // dW += grad_mat [out_ch, cols] x cols^T [cols, rows], folded straight
+  // into the accumulator — no dw temporary.
+  matmul_nt_acc_into(grad_out_mat_, cols_, weight_grad_);
 
   // dcols = W^T [rows, out_ch] x grad_mat [out_ch, cols]
   matmul_tn_into(weight_, grad_out_mat_, grad_cols_);

@@ -44,9 +44,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
   DECO_CHECK(grad_output.ndim() == 2 && grad_output.dim(0) == input_.dim(0) &&
                  grad_output.dim(1) == out_features_,
              "Linear::backward: grad shape mismatch " + grad_output.shape_str());
-  // dW += g^T x ; db += sum over batch ; dx = g W
-  Tensor dw = matmul_tn(grad_output, input_);
-  weight_grad_.add_(dw);
+  // dW += g^T x (folded straight into the accumulator); db += sum over
+  // batch ; dx = g W
+  matmul_tn_acc_into(grad_output, input_, weight_grad_);
   const int64_t n = grad_output.dim(0);
   const float* pg = grad_output.data();
   float* pbg = bias_grad_.data();

@@ -5,6 +5,7 @@
 
 #include "deco/core/thread_pool.h"
 #include "deco/tensor/check.h"
+#include "deco/tensor/gemm.h"
 
 namespace deco {
 
@@ -19,6 +20,12 @@ void ensure_shape(Tensor& t, std::vector<int64_t> shape) {
   }
 }
 
+void check_acc_shape(const Tensor& out, int64_t m, int64_t n, const char* op) {
+  DECO_CHECK(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+             std::string(op) + ": accumulator shape " + out.shape_str() +
+                 " does not match result");
+}
+
 // Rows per parallel chunk, sized so a chunk carries ~64k scalar ops: small
 // kernels collapse to one chunk (pure serial, no dispatch overhead), large
 // ones split into enough chunks to load every worker. The grain is a pure
@@ -30,30 +37,20 @@ int64_t row_grain(int64_t work_per_row) {
 }
 }  // namespace
 
+// The three matmul variants all lower onto detail::gemm_strided, which packs
+// the operands and runs the blocked kernel. No zero-skip shortcuts: every
+// product is computed, so a 0 in A against an Inf/NaN in B yields NaN as
+// IEEE demands (a previous `if (aik == 0) continue` masked exactly the
+// non-finite values core::NumericGuard exists to catch).
+
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul: inputs must be 2-D");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   DECO_CHECK(b.dim(0) == k, "matmul: inner dims differ: " + a.shape_str() +
                                 " x " + b.shape_str());
   ensure_shape(out, {m, n});
-  out.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j order: streams B and OUT rows. Output rows are disjoint, so the
-  // row-blocked parallel split is bitwise deterministic for any thread count.
-  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
-  });
+  detail::gemm_strided(m, n, k, a.data(), k, 1, b.data(), n, 1, out.data(),
+                       /*accumulate=*/false);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -62,30 +59,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void matmul_acc_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_acc: inputs must be 2-D");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DECO_CHECK(b.dim(0) == k, "matmul_acc: inner dims differ: " + a.shape_str() +
+                                " x " + b.shape_str());
+  check_acc_shape(out, m, n, "matmul_acc");
+  detail::gemm_strided(m, n, k, a.data(), k, 1, b.data(), n, 1, out.data(),
+                       /*accumulate=*/true);
+}
+
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
   DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: inputs must be 2-D");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   DECO_CHECK(b.dim(0) == k, "matmul_tn: leading dims differ: " + a.shape_str() +
                                 " vs " + b.shape_str());
   ensure_shape(out, {m, n});
-  out.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // out[i,j] = sum_k a[k,i]*b[k,j]. Output rows are disjoint across i, and
-  // each out[i,j] accumulates in ascending k exactly as the serial k-outer
-  // ordering did, so the row-blocked split keeps results bit-for-bit.
-  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aki = pa[kk * m + i];
-        if (aki == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
-      }
-    }
-  });
+  detail::gemm_strided(m, n, k, a.data(), 1, m, b.data(), n, 1, out.data(),
+                       /*accumulate=*/false);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -94,42 +85,40 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void matmul_tn_acc_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_tn_acc: inputs must be 2-D");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  DECO_CHECK(b.dim(0) == k, "matmul_tn_acc: leading dims differ: " +
+                                a.shape_str() + " vs " + b.shape_str());
+  check_acc_shape(out, m, n, "matmul_tn_acc");
+  detail::gemm_strided(m, n, k, a.data(), 1, m, b.data(), n, 1, out.data(),
+                       /*accumulate=*/true);
+}
+
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
   DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: inputs must be 2-D");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DECO_CHECK(b.dim(1) == k, "matmul_nt: trailing dims differ: " + a.shape_str() +
                                 " vs " + b.shape_str());
   ensure_shape(out, {m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  core::parallel_for(0, m, row_grain(k * n), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        // Four float partial sums: vectorizes well and keeps rounding error
-        // ~O(k/4) instead of O(k) for the long dot products of conv backward.
-        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-        int64_t kk = 0;
-        for (; kk + 4 <= k; kk += 4) {
-          acc0 += arow[kk] * brow[kk];
-          acc1 += arow[kk + 1] * brow[kk + 1];
-          acc2 += arow[kk + 2] * brow[kk + 2];
-          acc3 += arow[kk + 3] * brow[kk + 3];
-        }
-        for (; kk < k; ++kk) acc0 += arow[kk] * brow[kk];
-        orow[j] = (acc0 + acc1) + (acc2 + acc3);
-      }
-    }
-  });
+  detail::gemm_strided(m, n, k, a.data(), k, 1, b.data(), 1, k, out.data(),
+                       /*accumulate=*/false);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   Tensor out;
   matmul_nt_into(a, b, out);
   return out;
+}
+
+void matmul_nt_acc_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  DECO_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt_acc: inputs must be 2-D");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  DECO_CHECK(b.dim(1) == k, "matmul_nt_acc: trailing dims differ: " +
+                                a.shape_str() + " vs " + b.shape_str());
+  check_acc_shape(out, m, n, "matmul_nt_acc");
+  detail::gemm_strided(m, n, k, a.data(), k, 1, b.data(), 1, k, out.data(),
+                       /*accumulate=*/true);
 }
 
 void transpose2d_into(const Tensor& in, Tensor& out) {

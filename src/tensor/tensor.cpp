@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -21,16 +22,18 @@ int64_t shape_numel(const std::vector<int64_t>& shape) {
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_)) {}
 
 Tensor::Tensor(std::initializer_list<int64_t> shape)
     : Tensor(std::vector<int64_t>(shape)) {}
 
-Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  DECO_CHECK(shape_numel(shape_) == static_cast<int64_t>(data_.size()),
+Tensor::Tensor(std::vector<int64_t> shape, const std::vector<float>& values)
+    : shape_(std::move(shape)) {
+  DECO_CHECK(shape_numel(shape_) == static_cast<int64_t>(values.size()),
              "value count does not match shape " + shape_str());
+  data_ = detail::FloatStore(static_cast<int64_t>(values.size()));
+  if (!values.empty())
+    std::memcpy(data_.data(), values.data(), values.size() * sizeof(float));
 }
 
 Tensor Tensor::zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
@@ -66,23 +69,23 @@ void Tensor::reshape(std::vector<int64_t> shape) {
 }
 
 float& Tensor::at2(int64_t r, int64_t c) {
-  return data_[static_cast<size_t>(r * shape_[1] + c)];
+  return data_.data()[r * shape_[1] + c];
 }
 float Tensor::at2(int64_t r, int64_t c) const {
-  return data_[static_cast<size_t>(r * shape_[1] + c)];
+  return data_.data()[r * shape_[1] + c];
 }
 
 float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
   const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
-  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+  return data_.data()[((n * C + c) * H + h) * W + w];
 }
 float Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
   const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
-  return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+  return data_.data()[((n * C + c) * H + h) * W + w];
 }
 
 Tensor& Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + data_.size(), value);
   return *this;
 }
 
@@ -123,17 +126,21 @@ Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
 }
 
 Tensor& Tensor::scale_(float alpha) {
-  for (float& v : data_) v *= alpha;
+  float* p = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) p[i] *= alpha;
   return *this;
 }
 
 Tensor& Tensor::add_scalar_(float alpha) {
-  for (float& v : data_) v += alpha;
+  float* p = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) p[i] += alpha;
   return *this;
 }
 
 Tensor& Tensor::clamp_(float lo, float hi) {
-  for (float& v : data_) v = std::min(hi, std::max(lo, v));
+  float* p = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i)
+    p[i] = std::min(hi, std::max(lo, p[i]));
   return *this;
 }
 
@@ -157,7 +164,8 @@ Tensor Tensor::operator*(float alpha) const {
 
 float Tensor::sum() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* p = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i) acc += p[i];
   return static_cast<float>(acc);
 }
 
@@ -168,32 +176,37 @@ float Tensor::mean() const {
 
 float Tensor::min() const {
   DECO_CHECK(numel() > 0, "min of empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data(), data() + numel());
 }
 
 float Tensor::max() const {
   DECO_CHECK(numel() > 0, "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data(), data() + numel());
 }
 
 float Tensor::norm() const { return std::sqrt(squared_norm()); }
 
 float Tensor::squared_norm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* p = data();
+  for (int64_t i = 0, n = numel(); i < n; ++i)
+    acc += static_cast<double>(p[i]) * p[i];
   return static_cast<float>(acc);
 }
 
 int64_t Tensor::argmax() const {
   DECO_CHECK(numel() > 0, "argmax of empty tensor");
-  return std::distance(data_.begin(), std::max_element(data_.begin(), data_.end()));
+  const float* p = data();
+  return std::distance(p, std::max_element(p, p + numel()));
 }
 
 float Tensor::l1_distance(const Tensor& other) const {
   DECO_CHECK(numel() == other.numel(), "l1_distance: numel mismatch");
   double acc = 0.0;
+  const float* pa = data();
+  const float* pb = other.data();
   for (int64_t i = 0, n = numel(); i < n; ++i)
-    acc += std::abs(static_cast<double>(data_[i]) - other.data_[i]);
+    acc += std::abs(static_cast<double>(pa[i]) - pb[i]);
   return static_cast<float>(acc);
 }
 
