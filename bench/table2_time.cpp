@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "deco/condense/matcher.h"
+#include "deco/core/telemetry.h"
 #include "deco/core/thread_pool.h"
 #include "deco/eval/metrics.h"
 #include "deco/nn/convnet.h"
@@ -155,5 +156,11 @@ int main() {
 
   std::cout << "\nPaper shape check: Time(DC) ≈ Time(DSA) ≫ Time(DECO) ≳ "
                "Time(DM); Acc(DECO) ≈ Acc(DC) > Acc(DM).\n";
+
+  // Where did the condensation seconds go? The aggregate telemetry snapshot
+  // (per-phase span times, GEMM flops, pool utilization) answers that for
+  // the whole run just timed.
+  core::telemetry::write_aggregate_json("BENCH_table2_telemetry.json");
+  std::cout << "Telemetry aggregate written to BENCH_table2_telemetry.json\n";
   return 0;
 }

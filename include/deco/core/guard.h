@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "deco/core/telemetry.h"
 #include "deco/nn/module.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/tensor.h"
@@ -116,6 +117,11 @@ class NumericGuard {
       else
         ++stats_.frames_quarantined;
     }
+    if (const int64_t bad = s - static_cast<int64_t>(finite.size()); bad > 0) {
+      static telemetry::Counter& c =
+          telemetry::counter("guard/frames_quarantined");
+      c.add(bad);
+    }
     return finite;
   }
 
@@ -123,6 +129,7 @@ class NumericGuard {
   bool admit_loss(float loss) {
     if (std::isfinite(loss)) return true;
     ++stats_.batches_skipped;
+    note_batch_skipped_telemetry();
     return false;
   }
 
@@ -135,6 +142,7 @@ class NumericGuard {
       sq += static_cast<double>(p.grad->squared_norm());
     if (!std::isfinite(sq)) {
       ++stats_.batches_skipped;
+      note_batch_skipped_telemetry();
       return false;
     }
     const double norm = std::sqrt(sq);
@@ -144,6 +152,8 @@ class NumericGuard {
           config_.max_grad_norm / static_cast<float>(norm);
       for (nn::ParamRef& p : params) p.grad->scale_(scale);
       ++stats_.grads_clipped;
+      static telemetry::Counter& c = telemetry::counter("guard/grads_clipped");
+      c.add(1);
     }
     return true;
   }
@@ -156,10 +166,23 @@ class NumericGuard {
            distance <= config_.max_condense_distance;
   }
 
-  void note_rollback() { ++stats_.steps_rolled_back; }
-  void note_segment_skipped() { ++stats_.segments_skipped; }
+  void note_rollback() {
+    ++stats_.steps_rolled_back;
+    static telemetry::Counter& c = telemetry::counter("guard/rollbacks");
+    c.add(1);
+  }
+  void note_segment_skipped() {
+    ++stats_.segments_skipped;
+    static telemetry::Counter& c = telemetry::counter("guard/segments_skipped");
+    c.add(1);
+  }
 
  private:
+  static void note_batch_skipped_telemetry() {
+    static telemetry::Counter& c = telemetry::counter("guard/batches_skipped");
+    c.add(1);
+  }
+
   GuardConfig config_{};
   GuardStats stats_{};
 };

@@ -41,8 +41,19 @@ struct MemStatsSnapshot {
   int64_t hot_allocs() const { return tensor_heap_allocs + workspace_blocks; }
 };
 
+/// Delta between two snapshots (end - start), for gate checks of the form
+/// "this loop performed zero hot allocations".
+MemStatsSnapshot operator-(const MemStatsSnapshot& a, const MemStatsSnapshot& b);
+
 /// Snapshot of the process-wide counters (monotonic since process start).
 MemStatsSnapshot memstats();
+
+/// Counters attributable to the CALLING THREAD only (monotonic since the
+/// thread started). Gate checks should difference two of these instead of
+/// two process-wide snapshots: a process-global delta can be poisoned by
+/// unrelated allocations on other threads (telemetry exporters, test
+/// harnesses, a second benchmark), a per-thread delta cannot.
+MemStatsSnapshot memstats_this_thread();
 
 // Counter hooks for the allocating subsystems (relaxed atomics; any thread).
 void memstats_note_tensor_alloc(int64_t bytes);

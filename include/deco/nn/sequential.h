@@ -7,6 +7,10 @@
 
 #include "deco/nn/module.h"
 
+namespace deco::core::telemetry {
+struct SpanSite;
+}  // namespace deco::core::telemetry
+
 namespace deco::nn {
 
 class Sequential : public Module {
@@ -27,6 +31,10 @@ class Sequential : public Module {
 
  private:
   std::vector<std::unique_ptr<Module>> layers_;
+  // Telemetry span sites ("nn/<i>:<name>/fwd|bwd"), resolved once per layer
+  // in add() so forward/backward pay no registry lookup.
+  std::vector<core::telemetry::SpanSite*> fwd_sites_;
+  std::vector<core::telemetry::SpanSite*> bwd_sites_;
 };
 
 }  // namespace deco::nn

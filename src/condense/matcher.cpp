@@ -2,6 +2,7 @@
 
 #include "deco/condense/grad_distance.h"
 #include "deco/condense/grad_utils.h"
+#include "deco/core/telemetry.h"
 #include "deco/nn/loss.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/ops.h"
@@ -30,6 +31,13 @@ GradientMatcher::SoftResult GradientMatcher::match_soft(
              "match_soft: target count mismatch");
   DECO_CHECK(x_real.dim(0) == static_cast<int64_t>(y_real.size()),
              "match_soft: real label count mismatch");
+
+  DECO_TRACE_SCOPE("condense/match");
+  {
+    static core::telemetry::Counter& c =
+        core::telemetry::counter("condense/matcher_passes");
+    c.add(1);
+  }
 
   SoftResult res;
 
@@ -125,6 +133,13 @@ MatchResult GradientMatcher::match_impl(const Tensor& x_syn,
              "GradientMatcher: synthetic label count mismatch");
   DECO_CHECK(x_real.dim(0) == static_cast<int64_t>(y_real.size()),
              "GradientMatcher: real label count mismatch");
+
+  DECO_TRACE_SCOPE("condense/match");
+  {
+    static core::telemetry::Counter& c =
+        core::telemetry::counter("condense/matcher_passes");
+    c.add(1);
+  }
 
   // Siamese augmentation: one sampled transform applied to both batches.
   const bool augmented = aug != nullptr && params != nullptr &&

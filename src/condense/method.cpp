@@ -7,6 +7,7 @@
 #include <ostream>
 #include <unordered_set>
 
+#include "deco/core/telemetry.h"
 #include "deco/core/thread_pool.h"
 #include "deco/nn/convnet.h"
 #include "deco/nn/loss.h"
@@ -213,6 +214,7 @@ DecoCondenser::DecoCondenser(const nn::ConvNetConfig& model_config,
 }
 
 void DecoCondenser::condense(const CondenseContext& ctx) {
+  DECO_TRACE_SCOPE("condense/deco");
   validate_context(ctx);
   SyntheticBuffer& buf = *ctx.buffer;
   ensure_velocity(velocity_, buf);
@@ -300,6 +302,11 @@ float DecoCondenser::run_iteration(const CondenseContext& ctx,
                                    const std::vector<int64_t>& y_syn,
                                    const std::vector<float>& w_real,
                                    GradientMatcher& matcher, float step_scale) {
+  {
+    static core::telemetry::Counter& c =
+        core::telemetry::counter("condense/iterations");
+    c.add(1);
+  }
   SyntheticBuffer& buf = *ctx.buffer;
   Tensor x_syn = buf.gather(active_rows);
   const bool soft = config_.learn_soft_labels && buf.soft_labels_enabled();
@@ -464,6 +471,7 @@ BilevelCondenser::BilevelCondenser(const nn::ConvNetConfig& model_config,
 }
 
 void BilevelCondenser::condense(const CondenseContext& ctx) {
+  DECO_TRACE_SCOPE("condense/bilevel");
   validate_context(ctx);
   SyntheticBuffer& buf = *ctx.buffer;
   ensure_velocity(velocity_, buf);
@@ -517,6 +525,7 @@ void BilevelCondenser::condense(const CondenseContext& ctx) {
         for (int64_t ci = c0; ci < c1; ++ci) {
           ClassWork& cw = work[static_cast<size_t>(ci)];
           if (!cw.valid) continue;
+          DECO_TRACE_SCOPE("condense/class_match");
           std::unique_ptr<nn::ConvNet> local = nn::clone_convnet(*scratch_);
           GradientMatcher m(*local, config_.fd_scale);
           MatchResult res =
@@ -571,6 +580,7 @@ DmCondenser::DmCondenser(const nn::ConvNetConfig& model_config, DmConfig config,
 }
 
 void DmCondenser::condense(const CondenseContext& ctx) {
+  DECO_TRACE_SCOPE("condense/dm");
   validate_context(ctx);
   SyntheticBuffer& buf = *ctx.buffer;
   ensure_velocity(velocity_, buf);
@@ -606,6 +616,7 @@ void DmCondenser::condense(const CondenseContext& ctx) {
       for (int64_t ci = c0; ci < c1; ++ci) {
         ClassWork& cw = work[static_cast<size_t>(ci)];
         if (!cw.valid) continue;
+        DECO_TRACE_SCOPE("condense/class_embed");
         std::unique_ptr<nn::ConvNet> local = nn::clone_convnet(*scratch_);
 
         // Class-mean embedding of the real data under the random encoder.

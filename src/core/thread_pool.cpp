@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "deco/core/telemetry.h"
 #include "deco/tensor/check.h"
 
 namespace deco::core {
@@ -18,6 +19,27 @@ namespace {
 // Set while the current thread is executing pool chunks (worker or the
 // caller participating in its own run); forces nested regions inline.
 thread_local bool tl_in_pool_task = false;
+
+// Pool telemetry: job/chunk throughput plus how long the caller blocks in
+// the completion wait after exhausting its own share of chunks (the "my
+// workers are still busy" tail). Handles are resolved once; the hot path
+// pays relaxed adds only.
+telemetry::Counter& jobs_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool/jobs");
+  return c;
+}
+telemetry::Counter& chunks_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool/chunks");
+  return c;
+}
+telemetry::Histogram& caller_wait_hist() {
+  // 1 us .. 1 s in decades.
+  static telemetry::Histogram& h = telemetry::histogram(
+      "pool/caller_wait_ns",
+      {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
+       1'000'000'000});
+  return h;
+}
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -126,6 +148,8 @@ bool ThreadPool::in_worker() { return tl_in_pool_task; }
 void ThreadPool::run(int64_t num_chunks,
                      const std::function<void(int64_t)>& task) {
   if (num_chunks <= 0) return;
+  jobs_counter().add(1);
+  chunks_counter().add(num_chunks);
   // Serial paths: no workers, trivial jobs, or nested invocation. These run
   // the exact same chunks in ascending order, so results cannot depend on
   // which path was taken.
@@ -151,9 +175,13 @@ void ThreadPool::run(int64_t num_chunks,
 
   std::exception_ptr err;
   {
+    const int64_t wait_t0 =
+        telemetry::enabled() ? telemetry::detail::now_ns() : 0;
     std::unique_lock<std::mutex> lk(impl_->mu);
     j->done_chunks += did;
     impl_->cv_done.wait(lk, [&] { return j->done_chunks == j->total_chunks; });
+    if (wait_t0 != 0)
+      caller_wait_hist().observe(telemetry::detail::now_ns() - wait_t0);
     err = j->first_error;
     // Drop the slot's reference so the dangling task pointer inside the job
     // cannot outlive this call via the pool itself; late workers keep their

@@ -30,6 +30,12 @@ std::vector<Workspace*>& registry() {
   return *r;
 }
 
+// Per-thread mirror of the allocation counters. The note_* hooks bump both
+// the process-wide atomics and this thread-local copy, so callers can
+// difference counters that only this thread could have moved (see
+// memstats_this_thread in the header).
+thread_local MemStatsSnapshot tl_memstats;
+
 constexpr int64_t kMinBlockFloats = 1 << 16;  // 256 KiB
 constexpr int64_t kAlignBytes = 64;
 constexpr int64_t kAlignFloats = kAlignBytes / static_cast<int64_t>(sizeof(float));
@@ -37,6 +43,18 @@ constexpr int64_t kAlignFloats = kAlignBytes / static_cast<int64_t>(sizeof(float
 int64_t round_up(int64_t n, int64_t mult) { return (n + mult - 1) / mult * mult; }
 
 }  // namespace
+
+MemStatsSnapshot operator-(const MemStatsSnapshot& a, const MemStatsSnapshot& b) {
+  MemStatsSnapshot d;
+  d.tensor_heap_allocs = a.tensor_heap_allocs - b.tensor_heap_allocs;
+  d.tensor_heap_bytes = a.tensor_heap_bytes - b.tensor_heap_bytes;
+  d.tensor_pool_hits = a.tensor_pool_hits - b.tensor_pool_hits;
+  d.workspace_blocks = a.workspace_blocks - b.workspace_blocks;
+  d.workspace_bytes = a.workspace_bytes - b.workspace_bytes;
+  return d;
+}
+
+MemStatsSnapshot memstats_this_thread() { return tl_memstats; }
 
 MemStatsSnapshot memstats() {
   MemStatsSnapshot s;
@@ -51,15 +69,20 @@ MemStatsSnapshot memstats() {
 void memstats_note_tensor_alloc(int64_t bytes) {
   g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   g_tensor_heap_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  ++tl_memstats.tensor_heap_allocs;
+  tl_memstats.tensor_heap_bytes += bytes;
 }
 
 void memstats_note_tensor_pool_hit() {
   g_tensor_pool_hits.fetch_add(1, std::memory_order_relaxed);
+  ++tl_memstats.tensor_pool_hits;
 }
 
 void memstats_note_workspace_block(int64_t bytes) {
   g_workspace_blocks.fetch_add(1, std::memory_order_relaxed);
   g_workspace_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  ++tl_memstats.workspace_blocks;
+  tl_memstats.workspace_bytes += bytes;
 }
 
 Workspace::Workspace() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "deco/core/telemetry.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/ops.h"
 
@@ -55,9 +56,17 @@ FaultyStream::FaultyStream(TemporalStream& inner, FaultConfig config,
 
 bool FaultyStream::next(Segment& out) {
   if (!inner_.next(out)) return false;
+  const int64_t faults_before = log_.total_faults();
   if (config_.any()) corrupt_segment(out);
   ++log_.segments_emitted;
   log_.frames_emitted += out.images.dim(0);
+  {
+    namespace telem = core::telemetry;
+    static telem::Counter& c_segments = telem::counter("faults/segments");
+    static telem::Counter& c_injected = telem::counter("faults/injected");
+    c_segments.add(1);
+    c_injected.add(log_.total_faults() - faults_before);
+  }
   return true;
 }
 

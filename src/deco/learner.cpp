@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "deco/core/telemetry.h"
 #include "deco/nn/loss.h"
 #include "deco/nn/optim.h"
 #include "deco/tensor/check.h"
@@ -114,6 +115,11 @@ void DecoLearner::init_buffer_from(const data::Dataset& labeled) {
 }
 
 SegmentReport DecoLearner::observe_segment(const Tensor& images) {
+  DECO_TRACE_SCOPE("learner/segment");
+  {
+    static telemetry::Counter& c = telemetry::counter("learner/segments");
+    c.add(1);
+  }
   const int64_t n = images.dim(0);
   const GuardStats stats_before = guard_.stats();
 
@@ -150,7 +156,11 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
   // Majority voting can be ablated: threshold 0 keeps every class with at
   // least one prediction, i.e. plain self-training pseudo-labels.
   const float m = config_.use_majority_voting ? config_.threshold_m : 0.0f;
-  PseudoLabelResult pl = pseudo_label_segment(model_, *x_in, m);
+  PseudoLabelResult pl;
+  {
+    DECO_TRACE_SCOPE("learner/pseudo_label");
+    pl = pseudo_label_segment(model_, *x_in, m);
+  }
 
   if (!screened) {
     report.pseudo_labels = pl.labels;
@@ -194,7 +204,10 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
     ctx.guard = guard_.enabled() ? &guard_ : nullptr;
 
     const double t0 = now_seconds();
-    condenser_->condense(ctx);
+    {
+      DECO_TRACE_SCOPE("learner/condense");
+      condenser_->condense(ctx);
+    }
     condense_seconds_ += now_seconds() - t0;
 
     if (auto* deco = dynamic_cast<condense::DecoCondenser*>(condenser_.get());
@@ -217,6 +230,7 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
 }
 
 void DecoLearner::update_model_now() {
+  DECO_TRACE_SCOPE("learner/model_update");
   NumericGuard* guard = guard_.enabled() ? &guard_ : nullptr;
   if (buffer_.soft_labels_enabled()) {
     std::vector<int64_t> all(static_cast<size_t>(buffer_.size()));

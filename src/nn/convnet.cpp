@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "deco/core/telemetry.h"
 #include "deco/nn/layers.h"
 #include "deco/tensor/check.h"
 
@@ -35,14 +36,19 @@ ConvNet::ConvNet(const ConvNetConfig& config, Rng& rng) : config_(config) {
 }
 
 Tensor ConvNet::forward(const Tensor& input) {
+  DECO_TRACE_SCOPE("nn/forward");
   return head_->forward(encoder_.forward(input));
 }
 
 Tensor ConvNet::backward(const Tensor& grad_logits) {
+  DECO_TRACE_SCOPE("nn/backward");
   return encoder_.backward(head_->backward(grad_logits));
 }
 
-Tensor ConvNet::embed(const Tensor& input) { return encoder_.forward(input); }
+Tensor ConvNet::embed(const Tensor& input) {
+  DECO_TRACE_SCOPE("nn/embed");
+  return encoder_.forward(input);
+}
 
 Tensor ConvNet::backward_from_embedding(const Tensor& grad_embedding) {
   return encoder_.backward(grad_embedding);

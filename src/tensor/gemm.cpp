@@ -24,6 +24,7 @@
 
 #include <algorithm>
 
+#include "deco/core/telemetry.h"
 #include "deco/core/thread_pool.h"
 #include "deco/core/workspace.h"
 
@@ -129,6 +130,20 @@ void gemm_strided(int64_t m, int64_t n, int64_t k,
 
   const int64_t a_strips = div_up(m, kMR);
   const int64_t b_strips = div_up(n, kNR);
+
+  // Throughput accounting (multiply-add = 2 flops) and packing traffic; the
+  // span aggregates kernel wall time per phase for the telemetry exports.
+  DECO_TRACE_SCOPE("tensor/gemm");
+  {
+    namespace telem = core::telemetry;
+    static telem::Counter& c_calls = telem::counter("gemm/calls");
+    static telem::Counter& c_flops = telem::counter("gemm/flops");
+    static telem::Counter& c_pack = telem::counter("gemm/pack_bytes");
+    c_calls.add(1);
+    c_flops.add(2 * m * n * k);
+    c_pack.add((a_strips * kMR + b_strips * kNR) * k *
+               static_cast<int64_t>(sizeof(float)));
+  }
 
   core::Workspace::Scope scratch;
   float* packA = scratch.alloc_floats(a_strips * kMR * k);

@@ -247,5 +247,117 @@ TEST_F(CorruptStateTest, MissingFileThrows) {
   expect_untouched();
 }
 
+// ---- byte-corruption fuzz ---------------------------------------------------
+//
+// Exhaustive single-byte (and single-bit) corruption of the serialized
+// containers. The contract under arbitrary corruption is "reject with
+// deco::Error or load data that validates against the original" — never a
+// crash, never a silently wrong tensor. The one legitimate load-despite-flip
+// is the version field turning into the legacy v1 value, which skips CRC
+// verification but still decodes the identical bytes (pinned by its own test
+// below).
+
+TEST(SerializedTensorFuzzTest, EveryByteFlipRejectsOrLoadsIdentical) {
+  Rng rng(17);
+  Tensor original({2, 3, 4});
+  rng.fill_normal(original, 0, 1);
+  std::ostringstream os(std::ios::binary);
+  write_tensor(os, original);
+  const std::string clean = os.str();
+
+  int64_t rejected = 0, loaded_identical = 0;
+  auto attempt = [&](const std::string& bytes, const std::string& what) {
+    std::istringstream is(bytes, std::ios::binary);
+    try {
+      const Tensor t = read_tensor(is);
+      // Accepted: must be indistinguishable from the original.
+      ASSERT_EQ(t.shape(), original.shape()) << what;
+      ASSERT_EQ(std::memcmp(t.data(), original.data(),
+                            static_cast<size_t>(t.numel()) * sizeof(float)),
+                0)
+          << what << ": corrupted stream accepted with different data";
+      ++loaded_identical;
+    } catch (const Error&) {
+      ++rejected;  // the expected outcome for nearly every flip
+    }
+    // Any other exception type escapes and fails the test: corruption must
+    // surface as deco::Error, not std::bad_alloc or a crash.
+  };
+
+  for (size_t i = 0; i < clean.size(); ++i) {
+    std::string flipped = clean;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xFF);
+    attempt(flipped, "byte " + std::to_string(i) + " ^ 0xFF");
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string one = clean;
+      one[i] = static_cast<char>(one[i] ^ (1 << bit));
+      attempt(one, "byte " + std::to_string(i) + " bit " + std::to_string(bit));
+    }
+  }
+  // The CRC catches essentially everything; a handful of flips may decode
+  // identically (e.g. version downgrades that leave the payload untouched),
+  // but most of the stream must reject.
+  EXPECT_GT(rejected, static_cast<int64_t>(clean.size()) * 8 / 2);
+  SUCCEED() << rejected << " rejected, " << loaded_identical
+            << " loaded-identical of " << clean.size() * 9 << " corruptions";
+}
+
+TEST(SerializedTensorFuzzTest, LegacyVersionDowngradeStillDecodesExactly) {
+  // Setting the version field to 1 is the documented CRC escape hatch: the
+  // legacy path skips verification but the payload bytes are unchanged, so
+  // the decoded tensor must still be bit-identical.
+  Rng rng(18);
+  Tensor original({3, 5});
+  rng.fill_normal(original, 0, 1);
+  std::ostringstream os(std::ios::binary);
+  write_tensor(os, original);
+  std::string bytes = os.str();
+  const uint32_t legacy = 1;
+  std::memcpy(bytes.data() + 8, &legacy, sizeof(legacy));  // after 8-B magic
+
+  std::istringstream is(bytes, std::ios::binary);
+  const Tensor t = read_tensor(is);
+  ASSERT_EQ(t.shape(), original.shape());
+  EXPECT_EQ(std::memcmp(t.data(), original.data(),
+                        static_cast<size_t>(t.numel()) * sizeof(float)),
+            0);
+}
+
+TEST_F(CorruptStateTest, StridedByteFlipFuzzNeverCrashesOrCorrupts) {
+  // The learner-state container is v2-only (no legacy escape), so every
+  // corruption must either throw deco::Error or — if a flip happens to leave
+  // the file acceptable — load a state identical to the one just saved,
+  // which expect_untouched() verifies through the live model and buffer.
+  const std::string clean = read_file();
+  ASSERT_FALSE(clean.empty());
+  int64_t rejected = 0, accepted = 0;
+  // Every byte of the (small) header region, then ~128 positions strided
+  // through the bulk (a prime-ish step so all byte lanes of the f32 payload
+  // get hit), then the trailer.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < std::min<size_t>(64, clean.size()); ++i)
+    positions.push_back(i);
+  const size_t stride = std::max<size_t>(7, clean.size() / 128 | 1);
+  for (size_t i = 64; i < clean.size(); i += stride) positions.push_back(i);
+  for (size_t back = 1; back <= 4 && back <= clean.size(); ++back)
+    positions.push_back(clean.size() - back);  // the CRC trailer itself
+
+  for (size_t pos : positions) {
+    std::string flipped = clean;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0xFF);
+    write_file(flipped);
+    try {
+      learner_->load_state(path_);
+      ++accepted;
+    } catch (const Error&) {
+      ++rejected;
+    }
+    expect_untouched();
+  }
+  // A single-byte XOR can never keep the CRC valid, so nothing may load.
+  EXPECT_EQ(accepted, 0);
+  EXPECT_EQ(rejected, static_cast<int64_t>(positions.size()));
+}
+
 }  // namespace
 }  // namespace deco::core
