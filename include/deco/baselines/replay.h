@@ -107,6 +107,12 @@ class BaselineLearner : public core::OnDeviceLearner {
   nn::ConvNet& model() override { return model_; }
   std::string name() const override { return strategy_name(strategy_); }
   double condense_seconds() const override { return select_seconds_; }
+  /// Retrains the deployed model on the current replay buffer (the same
+  /// routine the β-schedule triggers; no-op while the buffer is empty).
+  void update_model_now() override;
+  /// Model parameters plus every stored sample (image, feature and gradient
+  /// sketches included).
+  int64_t memory_bytes() const override;
 
   ReplayBuffer& buffer() { return buffer_; }
 
@@ -134,10 +140,14 @@ class UnlimitedLearner : public core::OnDeviceLearner {
   core::SegmentReport observe_segment(const Tensor& images) override;
   /// Oracle variant: stores the segment with its ground-truth labels.
   core::SegmentReport observe_labeled_segment(
-      const Tensor& images, const std::vector<int64_t>& true_labels);
+      const Tensor& images, const std::vector<int64_t>& true_labels) override;
   nn::ConvNet& model() override { return model_; }
   std::string name() const override { return "upper_bound"; }
   double condense_seconds() const override { return 0.0; }
+  /// Retrains on everything stored so far (no-op while nothing is stored).
+  void update_model_now() override;
+  /// Model parameters plus every stored sample (unbounded by design).
+  int64_t memory_bytes() const override;
 
   int64_t stored() const { return static_cast<int64_t>(labels_.size()); }
 

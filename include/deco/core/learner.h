@@ -34,16 +34,50 @@ struct SegmentReport {
 };
 
 /// Streaming learner interface shared by DECO and the replay baselines.
+///
+/// This is the single polymorphic surface the evaluation harness and the
+/// multi-session runtime (runtime/session_manager.h) host learners through:
+/// segment ingestion, on-demand model updates, crash-safe persistence and a
+/// memory footprint estimate all dispatch virtually, so DECO, the replay
+/// baselines and the condensation baselines are interchangeable without
+/// downcasts.
 class OnDeviceLearner {
  public:
   virtual ~OnDeviceLearner() = default;
   /// Consumes one unlabeled segment (Algorithm 1 body for DECO).
   virtual SegmentReport observe_segment(const Tensor& images) = 0;
+  /// Oracle entry point: consumes a segment WITH its ground-truth labels.
+  /// Only the upper-bound learner uses them; the default ignores the labels
+  /// and forwards to observe_segment, so the harness can dispatch uniformly.
+  virtual SegmentReport observe_labeled_segment(
+      const Tensor& images, const std::vector<int64_t>& true_labels) {
+    (void)true_labels;
+    return observe_segment(images);
+  }
   virtual nn::ConvNet& model() = 0;
   virtual std::string name() const = 0;
   /// Cumulative wall-clock seconds spent inside buffer condensation/selection
   /// (Table II's execution-time metric).
   virtual double condense_seconds() const = 0;
+
+  /// Trains the deployed model on the learner's current buffer immediately
+  /// (outside the β-schedule). Learners without a retraining notion no-op.
+  virtual void update_model_now() {}
+
+  /// True when save_state/load_state are implemented; the runtime only
+  /// schedules periodic checkpoints for learners that return true.
+  virtual bool supports_state() const { return false; }
+  /// Crash-safe persistence of the complete learner state. The default
+  /// throws deco::Error — override together with supports_state().
+  virtual void save_state(const std::string& path) const;
+  /// Restores a save_state file; throws deco::Error on mismatch/corruption
+  /// without modifying the learner. The default throws.
+  virtual void load_state(const std::string& path);
+
+  /// Approximate resident bytes of learner-owned state (model parameters
+  /// plus buffer contents). The multi-session runtime partitions the tensor
+  /// pool budget across sessions with this estimate.
+  virtual int64_t memory_bytes() const { return 0; }
 };
 
 /// Hyper-parameters of the DECO learner (paper Section IV-A3 defaults).
@@ -84,6 +118,8 @@ class DecoLearner : public OnDeviceLearner {
   nn::ConvNet& model() override { return model_; }
   std::string name() const override;
   double condense_seconds() const override { return condense_seconds_; }
+  /// Model parameters plus the synthetic buffer (and soft-label logits).
+  int64_t memory_bytes() const override;
 
   condense::SyntheticBuffer& buffer() { return buffer_; }
   const DecoConfig& config() const { return config_; }
@@ -96,17 +132,18 @@ class DecoLearner : public OnDeviceLearner {
 
   /// Trains the deployed model on the current buffer (opt_θ(θ, S)); called
   /// automatically every β segments, exposed for final-update use.
-  void update_model_now();
+  void update_model_now() override;
 
+  bool supports_state() const override { return true; }
   /// Crash-safe persistence: saves model parameters, the synthetic buffer
   /// (images and, when enabled, soft-label logits), the stream position
   /// (segments_seen) and all rng/momentum state, so a killed run resumed via
   /// load_state replays the remaining stream bit-exactly. The file carries a
   /// CRC32 trailer and is written atomically (temp + rename).
-  void save_state(const std::string& path) const;
+  void save_state(const std::string& path) const override;
   /// Restores a save_state file. Architecture/shape mismatches, truncation
   /// and CRC failures throw deco::Error without modifying the learner.
-  void load_state(const std::string& path);
+  void load_state(const std::string& path) override;
 
  private:
   nn::ConvNet& model_;

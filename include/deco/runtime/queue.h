@@ -1,0 +1,95 @@
+// Bounded per-session ingest queues for the multi-session runtime.
+//
+// Each learner session owns one SegmentQueue. Producers (sensor threads, RPC
+// handlers, stream replayers) push segments from any thread; the scheduler
+// pops them from pool workers — the queue is MPMC, guarded by one mutex (the
+// payloads are whole image segments, so per-op lock cost is immaterial next
+// to the work each segment triggers).
+//
+// The queue is *strictly* bounded: size() never exceeds the configured depth,
+// enforced under the lock. When a push finds the queue full, the overflow
+// policy decides:
+//
+//   * kBlock     — the producer blocks until the scheduler drains a slot (or
+//                  the queue closes). This is lossless backpressure: a slow
+//                  session slows its own producer, never the fleet.
+//   * kShedOldest — the OLDEST queued segment is dropped to admit the new
+//                  one (the newest data is the most relevant under temporal
+//                  correlation). Sheds are counted, never silent.
+//
+// close() wakes blocked producers (their push returns false) and lets
+// consumers drain what is already queued; pop returns false only when the
+// queue is BOTH closed and empty, so no accepted segment is ever lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "deco/tensor/tensor.h"
+
+namespace deco::runtime {
+
+enum class OverflowPolicy {
+  kBlock,      ///< producer blocks until a slot frees up
+  kShedOldest, ///< oldest queued segment is dropped for the newcomer
+};
+
+/// Parses "block" / "shed_oldest" (and the shorthand "shed").
+OverflowPolicy overflow_policy_from_name(const std::string& name);
+std::string overflow_policy_name(OverflowPolicy p);
+
+/// Monotonic counters of one queue's traffic. Reads are internally locked;
+/// values are exact once producers/consumers are quiescent.
+struct QueueStats {
+  int64_t pushed = 0;         ///< segments accepted (includes later sheds)
+  int64_t popped = 0;         ///< segments handed to the scheduler
+  int64_t shed = 0;           ///< segments dropped by kShedOldest
+  int64_t rejected = 0;       ///< pushes refused because the queue was closed
+  int64_t max_depth = 0;      ///< high-water queue occupancy
+  int64_t block_waits = 0;    ///< pushes that had to wait for a slot
+  int64_t block_wait_ns = 0;  ///< total nanoseconds producers spent waiting
+};
+
+class SegmentQueue {
+ public:
+  /// `depth` >= 1 is the hard occupancy bound.
+  SegmentQueue(int64_t depth, OverflowPolicy policy);
+
+  SegmentQueue(const SegmentQueue&) = delete;
+  SegmentQueue& operator=(const SegmentQueue&) = delete;
+
+  /// Offers one segment. Returns true when the segment was admitted; false
+  /// when the queue is closed (the segment is dropped — producers should
+  /// stop). Under kBlock a full queue blocks the caller; under kShedOldest
+  /// the oldest queued segment is discarded and counted.
+  bool push(Tensor segment);
+
+  /// Pops the oldest segment without blocking. Returns false when nothing is
+  /// queued (closed or not) — the scheduler polls, it never parks here.
+  bool try_pop(Tensor& out);
+
+  /// Closes the queue: subsequent pushes fail fast, blocked producers wake,
+  /// queued segments remain poppable.
+  void close();
+  bool closed() const;
+
+  /// Current occupancy (always <= depth()).
+  int64_t size() const;
+  int64_t depth() const { return depth_; }
+  OverflowPolicy policy() const { return policy_; }
+  QueueStats stats() const;
+
+ private:
+  const int64_t depth_;
+  const OverflowPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<Tensor> items_;
+  bool closed_ = false;
+  QueueStats stats_;
+};
+
+}  // namespace deco::runtime

@@ -57,4 +57,9 @@ void trim_tensor_pool();
 /// Bytes currently cached in the pool (idle buffers, not live tensors).
 int64_t tensor_pool_cached_bytes();
 
+/// The pool's byte cap (DECO_TENSOR_POOL_MB, default 512 MiB). The
+/// multi-session runtime treats this as the device memory budget and
+/// partitions it across sessions at admission time.
+int64_t tensor_pool_cap_bytes();
+
 }  // namespace deco::detail

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "deco/tensor/tensor.h"
 
@@ -47,6 +48,21 @@ Tensor read_tensor(std::istream& is);
 /// Convenience file-path wrappers. save_tensor is atomic (see above).
 void save_tensor(const std::string& path, const Tensor& t);
 Tensor load_tensor(const std::string& path);
+
+/// Shape/version metadata of one serialized tensor, read without touching
+/// its payload (checkpoint-inspection tooling).
+struct TensorInfo {
+  uint32_t version = 0;            ///< container version (1 or 2)
+  std::vector<int64_t> shape;
+  int64_t numel = 0;
+  int64_t payload_bytes = 0;       ///< f32 data bytes (CRC trailer excluded)
+};
+
+/// Reads one tensor HEADER from the stream and seeks past the payload (and
+/// v2 CRC trailer) without loading or checksumming the data, leaving the
+/// stream at the next record. Throws deco::Error on malformed headers or a
+/// stream too short to contain the declared payload.
+TensorInfo skip_tensor(std::istream& is);
 
 /// Writes a [3, H, W] (or [1, H, W]) float image in [0, 1] as binary PPM/PGM.
 void write_ppm(const std::string& path, const Tensor& image_chw);

@@ -298,12 +298,24 @@ core::SegmentReport BaselineLearner::observe_segment(const Tensor& images) {
   select_seconds_ += now_seconds() - t0;
 
   ++segments_seen_;
-  if (segments_seen_ % config_.beta == 0 && buffer_.size() > 0) {
-    core::train_classifier(model_, buffer_.all_images(), buffer_.all_labels(),
-                           config_.model_update_epochs, config_.lr_model,
-                           config_.weight_decay, config_.train_batch, rng_);
-  }
+  if (segments_seen_ % config_.beta == 0) update_model_now();
   return report;
+}
+
+void BaselineLearner::update_model_now() {
+  if (buffer_.size() == 0) return;
+  core::train_classifier(model_, buffer_.all_images(), buffer_.all_labels(),
+                         config_.model_update_epochs, config_.lr_model,
+                         config_.weight_decay, config_.train_batch, rng_);
+}
+
+int64_t BaselineLearner::memory_bytes() const {
+  int64_t floats = 0;
+  for (int64_t cls = 0; cls < buffer_.num_classes(); ++cls)
+    for (const StoredSample& s : buffer_.slot(cls))
+      floats += s.image.numel() + s.feature.numel() + s.gradient.numel();
+  for (const nn::ParamRef& p : model_.parameters()) floats += p.value->numel();
+  return floats * static_cast<int64_t>(sizeof(float));
 }
 
 // ---- UnlimitedLearner ------------------------------------------------------------
@@ -352,12 +364,22 @@ core::SegmentReport UnlimitedLearner::store_and_train(
   }
 
   ++segments_seen_;
-  if (segments_seen_ % config_.beta == 0 && !images_.empty()) {
-    core::train_classifier(model_, stack(images_), labels_,
-                           config_.model_update_epochs, config_.lr_model,
-                           config_.weight_decay, config_.train_batch, rng_);
-  }
+  if (segments_seen_ % config_.beta == 0) update_model_now();
   return report;
+}
+
+void UnlimitedLearner::update_model_now() {
+  if (images_.empty()) return;
+  core::train_classifier(model_, stack(images_), labels_,
+                         config_.model_update_epochs, config_.lr_model,
+                         config_.weight_decay, config_.train_batch, rng_);
+}
+
+int64_t UnlimitedLearner::memory_bytes() const {
+  int64_t floats = 0;
+  for (const Tensor& img : images_) floats += img.numel();
+  for (const nn::ParamRef& p : model_.parameters()) floats += p.value->numel();
+  return floats * static_cast<int64_t>(sizeof(float));
 }
 
 }  // namespace deco::baselines

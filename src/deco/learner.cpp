@@ -71,6 +71,18 @@ RngState read_rng_state(std::istream& is) {
 }
 }  // namespace
 
+void OnDeviceLearner::save_state(const std::string& path) const {
+  (void)path;
+  DECO_CHECK(false, name() + ": save_state is not supported by this learner "
+                    "(supports_state() is false)");
+}
+
+void OnDeviceLearner::load_state(const std::string& path) {
+  (void)path;
+  DECO_CHECK(false, name() + ": load_state is not supported by this learner "
+                    "(supports_state() is false)");
+}
+
 void DecoConfig::validate() const {
   DECO_CHECK(ipc >= 1, "DecoConfig: ipc must be >= 1");
   DECO_CHECK(threshold_m >= 0.0f && threshold_m <= 1.0f,
@@ -244,6 +256,15 @@ void DecoLearner::update_model_now() {
   train_classifier(model_, buffer_.images(), buffer_.labels(),
                    config_.model_update_epochs, config_.lr_model,
                    config_.weight_decay, config_.train_batch, rng_, guard);
+}
+
+int64_t DecoLearner::memory_bytes() const {
+  int64_t floats = buffer_.images().numel();
+  if (buffer_.soft_labels_enabled())
+    floats += buffer_.size() * buffer_.num_classes();
+  for (const nn::ParamRef& p : model_.parameters())
+    floats += p.value->numel();
+  return floats * static_cast<int64_t>(sizeof(float));
 }
 
 void DecoLearner::save_state(const std::string& path) const {

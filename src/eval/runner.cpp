@@ -115,16 +115,14 @@ RunResult run_experiment(const RunConfig& config) {
   };
   data::Segment seg;
   int64_t pseudo_correct = 0, pseudo_total = 0, retained_total = 0;
-  auto* oracle = config.method == "upper_bound"
-                     ? dynamic_cast<baselines::UnlimitedLearner*>(learner.get())
-                     : nullptr;
+  // The upper bound is an oracle: unlimited memory AND ground-truth labels
+  // (the paper defines it as the accuracy achievable with unlimited buffer).
+  // Only it receives the labels; every other learner stays unlabeled.
+  const bool oracle = config.method == "upper_bound";
   while (next_segment(seg)) {
-    // The upper bound is an oracle: unlimited memory AND ground-truth labels
-    // (the paper defines it as the accuracy achievable with unlimited buffer).
     core::SegmentReport rep =
-        oracle != nullptr
-            ? oracle->observe_labeled_segment(seg.images, seg.true_labels)
-            : learner->observe_segment(seg.images);
+        oracle ? learner->observe_labeled_segment(seg.images, seg.true_labels)
+               : learner->observe_segment(seg.images);
 
     for (size_t i = 0; i < rep.pseudo_labels.size(); ++i) {
       if (rep.pseudo_labels[i] == seg.true_labels[i]) ++pseudo_correct;

@@ -188,4 +188,6 @@ int64_t tensor_pool_cached_bytes() {
   return pool().cached_bytes;
 }
 
+int64_t tensor_pool_cap_bytes() { return pool().cap_bytes; }
+
 }  // namespace deco::detail

@@ -133,6 +133,48 @@ Tensor read_tensor(std::istream& is) {
   return t;
 }
 
+TensorInfo skip_tensor(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
+             "skip_tensor: bad magic (not a DECO tensor stream)");
+  TensorInfo info;
+  info.version = read_pod<uint32_t>(is);
+  DECO_CHECK(info.version == kVersion || info.version == kLegacyVersion,
+             "skip_tensor: unsupported version " + std::to_string(info.version));
+  const uint32_t ndim = read_pod<uint32_t>(is);
+  DECO_CHECK(ndim <= 8, "skip_tensor: implausible rank");
+  info.shape.resize(ndim);
+  info.numel = 1;
+  for (uint32_t d = 0; d < ndim; ++d) {
+    info.shape[d] = read_pod<int64_t>(is);
+    DECO_CHECK(info.shape[d] >= 0 && info.shape[d] < (int64_t{1} << 32),
+               "skip_tensor: implausible dimension");
+    if (info.shape[d] == 0) {
+      info.numel = 0;
+    } else {
+      DECO_CHECK(info.numel <= kMaxElements / info.shape[d],
+                 "skip_tensor: header exceeds the element cap");
+      info.numel *= info.shape[d];
+    }
+  }
+  if (ndim == 0) info.numel = 0;
+  info.payload_bytes = info.numel * static_cast<int64_t>(sizeof(float));
+  const int64_t skip =
+      info.payload_bytes +
+      (info.version == kVersion ? static_cast<int64_t>(sizeof(uint32_t)) : 0);
+  // seekg past EOF succeeds on file streams (failure surfaces only at the
+  // next read), so measure the remaining bytes explicitly.
+  const auto cur = is.tellg();
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  DECO_CHECK(static_cast<int64_t>(end - cur) >= skip,
+             "skip_tensor: payload truncated");
+  is.seekg(cur + static_cast<std::istream::off_type>(skip));
+  DECO_CHECK(static_cast<bool>(is), "skip_tensor: seek failed");
+  return info;
+}
+
 void save_tensor(const std::string& path, const Tensor& t) {
   std::ostringstream os(std::ios::binary);
   write_tensor(os, t);
