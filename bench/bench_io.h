@@ -1,0 +1,143 @@
+// Shared timing + JSON-emit helpers for the benchmark binaries.
+//
+// Every bench that writes a BENCH_*.json artifact (bench_runtime, perf_smoke,
+// bench_scenarios) used to carry its own steady-clock helper and hand-rolled
+// ofstream JSON; this header is the single copy. bench_util.h stays the home
+// of the *protocol* knobs (scale, seeds, RunConfig defaults) — this file is
+// only about measuring time and serializing results.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace deco::bench {
+
+/// Monotonic wall-clock in seconds (steady_clock, so timing a bench is immune
+/// to NTP steps).
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Milliseconds per call of `op`: one warm-up call, a single timed call to
+/// size the batch to ~0.3 s, then the mean over that batch. The protocol
+/// perf_smoke's GEMM gates were tuned against.
+inline double time_ms(const std::function<void()>& op) {
+  using clock = std::chrono::steady_clock;
+  op();  // warm-up
+  auto t0 = clock::now();
+  op();
+  const double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const int iters = std::max(5, static_cast<int>(0.3 / std::max(once, 1e-6)));
+  t0 = clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  return std::chrono::duration<double>(clock::now() - t0).count() / iters * 1e3;
+}
+
+/// Minimal pretty-printing JSON emitter for the BENCH_*.json artifacts.
+/// Supports objects, arrays, scalar values, and raw() embedding of an
+/// already-serialized document (perf_smoke embeds the telemetry aggregate
+/// snapshot that way). Keys are emitted in call order; strings are escaped
+/// for quotes and backslashes only, which the artifact schemas never contain.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    os_ << '{';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() { return close_container('}'); }
+  JsonWriter& begin_array() {
+    separate();
+    os_ << '[';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() { return close_container(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    separate();
+    os_ << '"' << k << "\": ";
+    after_key_ = true;
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(double v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(const std::string& s) {
+    separate();
+    os_ << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string(s)); }
+  /// Embeds `json` verbatim as the next value; the caller vouches that it is
+  /// a complete, valid JSON document.
+  JsonWriter& raw(const std::string& json) {
+    separate();
+    os_ << json;
+    return *this;
+  }
+
+  /// The document text (trailing newline included).
+  std::string str() const { return os_.str() + "\n"; }
+
+  /// Writes the document and reports the path on stdout (the bench binaries'
+  /// existing "written to ..." convention). Returns false on I/O failure so
+  /// a bench can turn a missing artifact into a nonzero exit.
+  bool write_file(const std::string& path) const {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) return false;
+    os << str();
+    if (!os.good()) return false;
+    std::cout << "artifact written to " << path << "\n";
+    return true;
+  }
+
+ private:
+  JsonWriter& close_container(char c) {
+    const bool empty = stack_.back();
+    stack_.pop_back();
+    if (!empty) os_ << "\n" << std::string(stack_.size() * 2, ' ');
+    os_ << c;
+    return *this;
+  }
+  // Emits the comma/newline/indent that precedes the next element, unless the
+  // element is the value directly following its key.
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (!stack_.back()) os_ << ',';
+    stack_.back() = false;
+    os_ << "\n" << std::string(stack_.size() * 2, ' ');
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> stack_;  // one flag per open container: still empty?
+  bool after_key_ = false;
+};
+
+}  // namespace deco::bench

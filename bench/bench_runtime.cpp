@@ -11,18 +11,17 @@
 // leg alongside BENCH_telemetry.json and BENCH_kernels.json).
 //
 // Knobs: DECO_SEGMENTS (stream length per session), DECO_NUM_THREADS.
-#include <chrono>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
+#include "bench_io.h"
 #include "deco/core/thread_pool.h"
 #include "deco/eval/report.h"
 #include "deco/runtime/fleet.h"
 
 namespace {
 
+using deco::bench::now_seconds;
 using deco::runtime::Fleet;
 using deco::runtime::FleetConfig;
 using deco::runtime::FleetResult;
@@ -45,12 +44,6 @@ FleetConfig bench_config(int64_t sessions, int64_t segments) {
   fc.model_depth = 2;
   fc.runtime.queue_depth = 4;
   return fc;
-}
-
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
 }
 
 /// The no-runtime reference: one learner, one stream, a plain loop.
@@ -110,23 +103,23 @@ int main() {
       (sweep[0].seconds - direct_s) / direct_s * 100.0;
   std::cout << "\nruntime overhead at 1 session: " << overhead_pct << "%\n";
 
-  {
-    std::ofstream js("BENCH_runtime.json");
-    js << "{\n  \"threads\": " << deco::core::num_threads()
-       << ",\n  \"segments_per_session\": " << segments
-       << ",\n  \"direct_seconds\": " << direct_s
-       << ",\n  \"runtime_overhead_pct\": " << overhead_pct
-       << ",\n  \"sweep\": [";
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      js << (i ? "," : "") << "\n    {\"sessions\": " << sweep[i].sessions
-         << ", \"segments_processed\": " << sweep[i].segments_processed
-         << ", \"seconds\": " << sweep[i].seconds
-         << ", \"segments_per_second\": " << sweep[i].segments_per_second
-         << "}";
-    }
-    js << "\n  ]\n}\n";
+  deco::bench::JsonWriter js;
+  js.begin_object()
+      .key("threads").value(deco::core::num_threads())
+      .key("segments_per_session").value(segments)
+      .key("direct_seconds").value(direct_s)
+      .key("runtime_overhead_pct").value(overhead_pct)
+      .key("sweep").begin_array();
+  for (const SweepPoint& p : sweep) {
+    js.begin_object()
+        .key("sessions").value(p.sessions)
+        .key("segments_processed").value(p.segments_processed)
+        .key("seconds").value(p.seconds)
+        .key("segments_per_second").value(p.segments_per_second)
+        .end_object();
   }
-  std::cout << "sweep written to BENCH_runtime.json\n";
+  js.end_array().end_object();
+  if (!js.write_file("BENCH_runtime.json")) ++failures;
 
   std::cout << (failures == 0 ? "bench-runtime: PASS" : "bench-runtime: FAIL")
             << "\n";

@@ -27,10 +27,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
-#include <functional>
 #include <iostream>
 
+#include "bench_io.h"
 #include "deco/core/learner.h"
 #include "deco/core/telemetry.h"
 #include "deco/core/thread_pool.h"
@@ -43,18 +42,7 @@
 namespace {
 
 using namespace deco;
-
-double time_ms(const std::function<void()>& op) {
-  using clock = std::chrono::steady_clock;
-  op();  // warm-up
-  auto t0 = clock::now();
-  op();
-  const double once = std::chrono::duration<double>(clock::now() - t0).count();
-  const int iters = std::max(5, static_cast<int>(0.3 / std::max(once, 1e-6)));
-  t0 = clock::now();
-  for (int i = 0; i < iters; ++i) op();
-  return std::chrono::duration<double>(clock::now() - t0).count() / iters * 1e3;
-}
+using deco::bench::time_ms;
 
 bool check_gemm_not_slower_than_naive() {
   const int64_t n = 192;
@@ -208,15 +196,13 @@ int main() {
   if (!check_telemetry_overhead(overhead_pct)) ++failures;
   if (!check_learner_steady_state_allocations()) ++failures;
 
-  {
-    std::ofstream js("BENCH_telemetry.json");
-    js << "{\n  \"telemetry_overhead_pct\": " << overhead_pct
-       << ",\n  \"aggregate\": "
-       << core::telemetry::aggregate_json(core::telemetry::snapshot())
-       << "\n}\n";
-  }
-  std::cout << "[telemetry] aggregate snapshot written to BENCH_telemetry.json"
-            << "\n";
+  deco::bench::JsonWriter js;
+  js.begin_object()
+      .key("telemetry_overhead_pct").value(overhead_pct)
+      .key("aggregate")
+      .raw(core::telemetry::aggregate_json(core::telemetry::snapshot()))
+      .end_object();
+  if (!js.write_file("BENCH_telemetry.json")) ++failures;
 
   std::cout << (failures == 0 ? "perf-smoke: PASS" : "perf-smoke: FAIL")
             << "\n";

@@ -1,0 +1,76 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "deco/scenario/harness.h"
+#include "deco/tensor/check.h"
+
+namespace deco::scenario {
+
+namespace {
+
+// Fixed-width formatting keeps the document byte-stable across runs: the
+// determinism tests memcmp whole JSON cells, so "%g"-style shortest-round-trip
+// output (which can differ by libc) is off the table.
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string cell_fields(const CellResult& c, bool with_wall) {
+  std::string out;
+  out += "\"scenario\": " + quoted(c.scenario);
+  out += ", \"method\": " + quoted(c.method);
+  out += ", \"sessions\": " + std::to_string(c.sessions);
+  out += ", \"segments_submitted\": " + std::to_string(c.segments_submitted);
+  out += ", \"segments_processed\": " + std::to_string(c.segments_processed);
+  out += ", \"segments_shed\": " + std::to_string(c.segments_shed);
+  out += ", \"accuracy\": " + fixed6(c.accuracy);
+  out += ", \"forgetting\": " + fixed6(c.forgetting);
+  out += ", \"pseudo_label_accuracy\": " + fixed6(c.pseudo_label_accuracy);
+  out += ", \"peak_pool_bytes\": " + std::to_string(c.peak_pool_bytes);
+  if (with_wall) out += ", \"wall_seconds\": " + fixed6(c.wall_seconds);
+  return out;
+}
+
+}  // namespace
+
+std::string CellResult::deterministic_json() const {
+  return "{" + cell_fields(*this, /*with_wall=*/false) + "}";
+}
+
+std::string matrix_json(const MatrixReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"deco.bench_scenarios.v1\",\n";
+  out += "  \"seed\": " + std::to_string(report.seed) + ",\n";
+  out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
+  out += "  \"cells\": [\n";
+  for (size_t i = 0; i < report.cells.size(); ++i) {
+    out += "    {" + cell_fields(report.cells[i], /*with_wall=*/true) + "}";
+    out += i + 1 < report.cells.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void write_matrix_json(const MatrixReport& report, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DECO_CHECK(os.is_open(), "scenario: cannot open " + path + " for writing");
+  os << matrix_json(report);
+  DECO_CHECK(os.good(), "scenario: short write to " + path);
+}
+
+}  // namespace deco::scenario

@@ -1,0 +1,178 @@
+#include "deco/scenario/scenario.h"
+
+#include "deco/tensor/check.h"
+
+namespace deco::scenario {
+
+void ScenarioSpec::validate() const {
+  DECO_CHECK(!name.empty(), "scenario: name must not be empty");
+  DECO_CHECK(sessions >= 1, "scenario '" + name + "': sessions must be >= 1");
+  DECO_CHECK(queue_depth >= 1,
+             "scenario '" + name + "': queue_depth must be >= 1");
+  stream.validate();
+  faults.validate();
+  drift.validate();
+  label_noise.validate();
+  if (class_incremental) phases.validate();
+  if (burst_every > 0 || burst_size > 0) {
+    DECO_CHECK(burst_every >= 1 && burst_size >= 2,
+               "scenario '" + name +
+                   "': bursty arrival needs burst_every >= 1 and "
+                   "burst_size >= 2");
+    // The harness submits bursts from one producer with no scheduler running
+    // in between; a burst that overfills a kBlock queue would deadlock it.
+    DECO_CHECK(overflow == runtime::OverflowPolicy::kShedOldest ||
+                   burst_size <= queue_depth,
+               "scenario '" + name +
+                   "': burst_size > queue_depth requires the shed_oldest "
+                   "overflow policy");
+  }
+  for (const SessionVariant& v : variants) {
+    DECO_CHECK(v.ipc >= 0 && v.model_width >= 0,
+               "scenario '" + name + "': variant overrides must be >= 0");
+    DECO_CHECK(v.image_hw == 0 || v.image_hw >= 8,
+               "scenario '" + name + "': variant image_hw must be 0 or >= 8");
+  }
+}
+
+data::DatasetSpec dataset_spec_by_name(const std::string& name) {
+  if (name == "icub1") return data::icub1_spec();
+  if (name == "core50") return data::core50_spec();
+  if (name == "cifar100") return data::cifar100_spec();
+  if (name == "imagenet10") return data::imagenet10_spec();
+  if (name == "cifar10") return data::cifar10_spec();
+  DECO_CHECK(false, "scenario: unknown dataset '" + name + "'");
+  return {};
+}
+
+namespace {
+
+/// Shared stream shape: short runs so a handful of segments still covers
+/// several classes, sized so quick matrices finish in minutes.
+data::StreamConfig base_stream() {
+  data::StreamConfig sc;
+  sc.stc = 16;
+  sc.segment_size = 16;
+  sc.total_segments = 8;
+  sc.video_mode = true;
+  return sc;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> builtin_scenarios() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    ScenarioSpec s;
+    s.name = "clean";
+    s.description = "paper protocol: temporally-correlated stream, no faults";
+    s.stream = base_stream();
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "class_incremental";
+    s.description = "phased class arrival: 4 classes at t=0, +2 every 2 segments";
+    s.stream = base_stream();
+    s.class_incremental = true;
+    s.phases.initial = 4;
+    s.phases.per_phase = 2;
+    s.phases.segments_per_phase = 2;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift_abrupt";
+    s.description = "appearance distribution jumps mid-stream (sensor swap)";
+    s.stream = base_stream();
+    s.drift.mode = "abrupt";
+    s.drift.onset_segment = 3;
+    s.drift.severity = 0.6f;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "drift_gradual";
+    s.description = "appearance drifts linearly over the stream (lens aging)";
+    s.stream = base_stream();
+    s.drift.mode = "gradual";
+    s.drift.onset_segment = 0;
+    s.drift.ramp_segments = 8;
+    s.drift.severity = 0.6f;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "label_noise";
+    s.description = "25% of ground-truth labels flipped (annotation noise)";
+    s.stream = base_stream();
+    s.label_noise.flip_rate = 0.25;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "faulty_sensors";
+    s.description = "mid-severity sensor faults: stuck pixels, exposure, "
+                    "frame drops, NaN bursts";
+    s.stream = base_stream();
+    s.faults.dead_pixel_rate = 0.002;
+    s.faults.hot_pixel_rate = 0.002;
+    s.faults.salt_pepper_rate = 0.005;
+    s.faults.overexpose_rate = 0.05;
+    s.faults.underexpose_rate = 0.05;
+    s.faults.drop_frame_rate = 0.05;
+    s.faults.duplicate_frame_rate = 0.05;
+    s.faults.truncate_rate = 0.1;
+    s.faults.nan_burst_rate = 0.02;
+    s.faults.inf_burst_rate = 0.01;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "bursty_shed";
+    s.description = "diurnal bursts of 4 segments against a depth-2 "
+                    "shed_oldest queue";
+    s.stream = base_stream();
+    s.queue_depth = 2;
+    s.overflow = runtime::OverflowPolicy::kShedOldest;
+    s.burst_every = 2;
+    s.burst_size = 4;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "hetero_fleet";
+    s.description = "3 concurrent sessions with different ipc, resolution "
+                    "and model width in one fleet";
+    s.stream = base_stream();
+    s.sessions = 3;
+    s.variants = {{2, 12, 12}, {4, 16, 16}, {6, 20, 20}};
+    out.push_back(std::move(s));
+  }
+
+  for (const ScenarioSpec& s : out) s.validate();
+  return out;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& s : builtin_scenarios()) names.push_back(s.name);
+  return names;
+}
+
+ScenarioSpec scenario_by_name(const std::string& name) {
+  for (ScenarioSpec& s : builtin_scenarios()) {
+    if (s.name == name) return std::move(s);
+  }
+  DECO_CHECK(false, "scenario: unknown scenario '" + name +
+                        "' (see scenario_names())");
+  return {};
+}
+
+std::vector<std::string> builtin_methods() {
+  return {"deco",   "dc",   "dsa",          "dm",      "random",
+          "fifo",   "selective_bp", "kcenter", "gss"};
+}
+
+}  // namespace deco::scenario

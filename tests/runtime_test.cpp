@@ -50,6 +50,47 @@ TEST(SegmentQueue, ShedOldestKeepsDepthBoundAndDropsOldest) {
   EXPECT_FALSE(q.try_pop(t));
 }
 
+TEST(SegmentQueue, DiurnalBurstShedsOldestWithExactAccounting) {
+  // Depth-2 queue under a diurnal arrival pattern: each cycle has a quiet
+  // phase (one segment, consumed immediately) and a rush hour (a burst of 4
+  // pushed back-to-back with no consumer running). kShedOldest must keep
+  // exactly the NEWEST two of every burst, drop the oldest, and account for
+  // every segment: pushed == popped + shed + still-queued, always.
+  runtime::SegmentQueue q(2, runtime::OverflowPolicy::kShedOldest);
+  float tag = 0.0f;
+  Tensor t;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    // Quiet phase: steady arrival never sheds.
+    EXPECT_TRUE(q.push(tagged(tag)));
+    ASSERT_TRUE(q.try_pop(t));
+    EXPECT_EQ(t[0], tag);
+    tag += 1.0f;
+
+    // Rush hour: burst of 4 into depth 2.
+    std::vector<float> burst;
+    for (int k = 0; k < 4; ++k) {
+      burst.push_back(tag);
+      EXPECT_TRUE(q.push(tagged(tag)));
+      EXPECT_LE(q.size(), 2);
+      tag += 1.0f;
+    }
+    // The two oldest burst segments were shed; the survivors are the two
+    // newest, and they pop in arrival order.
+    ASSERT_TRUE(q.try_pop(t));
+    EXPECT_EQ(t[0], burst[2]);
+    ASSERT_TRUE(q.try_pop(t));
+    EXPECT_EQ(t[0], burst[3]);
+    EXPECT_FALSE(q.try_pop(t));
+
+    const runtime::QueueStats st = q.stats();
+    EXPECT_EQ(st.pushed, 5 * (cycle + 1));
+    EXPECT_EQ(st.popped, 3 * (cycle + 1));
+    EXPECT_EQ(st.shed, 2 * (cycle + 1));
+    EXPECT_EQ(st.pushed, st.popped + st.shed + q.size());
+  }
+  EXPECT_EQ(q.stats().max_depth, 2);
+}
+
 TEST(SegmentQueue, BlockPolicyBlocksProducerUntilPop) {
   runtime::SegmentQueue q(1, runtime::OverflowPolicy::kBlock);
   ASSERT_TRUE(q.push(tagged(0.0f)));

@@ -1,0 +1,127 @@
+// Slow suite: the scenario matrix's headline determinism guarantee.
+//
+// A matrix cell is a pure function of (spec, method, options) — the
+// acceptance bar for the whole scenario subsystem is that a full cell's
+// comparable report AND the learner's save_state bytes are memcmp-identical
+// at DECO_NUM_THREADS = 1, 2 and 4. That composes every contract underneath:
+// deterministic-chunking kernels, the SessionManager's fork-join rounds, the
+// decorators' own-Rng discipline, and the harness's fixed arrival schedule.
+// A reduced full-matrix sweep then checks every catalog scenario executes
+// end to end for a condensation method and a replay baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "deco/core/thread_pool.h"
+#include "deco/scenario/harness.h"
+#include "deco/scenario/scenario.h"
+
+namespace deco {
+namespace {
+
+scenario::HarnessOptions small_options() {
+  scenario::HarnessOptions o;
+  o.segments = 4;
+  o.ipc = 2;
+  o.model_width = 8;
+  o.pretrain_per_class = 2;
+  o.pretrain_epochs = 2;
+  o.test_per_class = 4;
+  o.model_update_epochs = 2;
+  o.beta = 2;
+  o.condenser_iterations = 2;
+  o.seed = 1;
+  return o;
+}
+
+TEST(ScenarioMatrixDeterminism, DecoCellIsByteIdenticalAcrossThreadCounts) {
+  scenario::HarnessOptions options = small_options();
+  options.capture_state = true;
+
+  // hetero_fleet is the hardest cell: three concurrent sessions with
+  // different resolutions and model widths, so any cross-session or
+  // cross-thread leak shows up here first.
+  const scenario::ScenarioSpec spec =
+      scenario::scenario_by_name("hetero_fleet");
+
+  const int saved = core::num_threads();
+  std::vector<scenario::CellResult> runs;
+  for (int threads : {1, 2, 4}) {
+    core::set_num_threads(threads);
+    runs.push_back(scenario::run_cell(spec, "deco", options));
+  }
+  core::set_num_threads(saved);
+
+  ASSERT_EQ(runs[0].state_blobs.size(), 3u)
+      << "deco supports_state: one blob per session";
+  for (size_t i = 1; i < runs.size(); ++i) {
+    // The whole comparable report row, serialized: one memcmp covers every
+    // deterministic metric at fixed formatting.
+    EXPECT_EQ(runs[0].deterministic_json(), runs[i].deterministic_json())
+        << "thread count " << (i == 1 ? 2 : 4) << " changed the report";
+    // And the full learner state: buffer images, model weights, Rng streams.
+    ASSERT_EQ(runs[0].state_blobs.size(), runs[i].state_blobs.size());
+    for (size_t s = 0; s < runs[0].state_blobs.size(); ++s)
+      EXPECT_TRUE(runs[0].state_blobs[s] == runs[i].state_blobs[s])
+          << "session " << s << " save_state bytes diverged at thread count "
+          << (i == 1 ? 2 : 4);
+  }
+}
+
+TEST(ScenarioMatrixDeterminism, BurstyShedCellIsThreadCountInvariant) {
+  // Shedding is the easiest place to lose determinism (it depends on queue
+  // timing in a pump-thread design); the harness's manual arrival schedule
+  // must make the shed count and everything downstream of it exact.
+  scenario::HarnessOptions options = small_options();
+  options.segments = 6;
+
+  const scenario::ScenarioSpec spec =
+      scenario::scenario_by_name("bursty_shed");
+  const int saved = core::num_threads();
+  core::set_num_threads(1);
+  const scenario::CellResult a = scenario::run_cell(spec, "fifo", options);
+  core::set_num_threads(4);
+  const scenario::CellResult b = scenario::run_cell(spec, "fifo", options);
+  core::set_num_threads(saved);
+
+  EXPECT_GT(a.segments_shed, 0);
+  EXPECT_EQ(a.deterministic_json(), b.deterministic_json());
+}
+
+TEST(ScenarioMatrix, ReducedMatrixCoversEveryScenario) {
+  scenario::HarnessOptions options = small_options();
+  // 4 segments is the minimum that makes bursty_shed actually overflow: the
+  // burst fires on the second arrival step, which needs 3 segments left.
+  options.segments = 4;
+
+  const std::vector<scenario::ScenarioSpec> scenarios =
+      scenario::builtin_scenarios();
+  const std::vector<std::string> methods = {"deco", "fifo"};
+  const scenario::MatrixReport report =
+      scenario::run_matrix(scenarios, methods, options);
+
+  ASSERT_EQ(report.cells.size(), scenarios.size() * methods.size());
+  size_t i = 0;
+  for (const scenario::ScenarioSpec& spec : scenarios) {
+    for (const std::string& method : methods) {
+      const scenario::CellResult& c = report.cells[i++];
+      EXPECT_EQ(c.scenario, spec.name);
+      EXPECT_EQ(c.method, method);
+      EXPECT_TRUE(std::isfinite(c.accuracy)) << spec.name << "/" << method;
+      EXPECT_TRUE(std::isfinite(c.forgetting)) << spec.name << "/" << method;
+      EXPECT_EQ(c.segments_processed + c.segments_shed, c.segments_submitted)
+          << spec.name << "/" << method << " lost segments";
+      EXPECT_GT(c.peak_pool_bytes, 0);
+      if (spec.name == "bursty_shed")
+        EXPECT_GT(c.segments_shed, 0) << "the burst scenario must shed";
+      else
+        EXPECT_EQ(c.segments_shed, 0)
+            << spec.name << " should not shed under steady arrival";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deco

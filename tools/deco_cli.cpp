@@ -3,7 +3,8 @@
 //   deco_cli run     [flags]    single-learner experiment (the classic CLI)
 //   deco_cli serve   [flags]    multi-session runtime over one SessionManager
 //   deco_cli inspect FILE...    print checkpoint/state headers, no tensor loads
-//   deco_cli bench   [flags]    quick fleet throughput sweep
+//   deco_cli bench   [flags]    fleet throughput sweep, or (--matrix) the
+//                               scenario × method evaluation matrix
 //
 // Every subcommand accepts `--config FILE` (key=value lines, or *.json) and
 // repeated `--set key=value` overrides, routed through runtime::ConfigMap —
@@ -20,12 +21,14 @@
 #include <vector>
 
 #include "deco/core/learner.h"
+#include "deco/core/thread_pool.h"
 #include "deco/data/stream.h"
 #include "deco/eval/metrics.h"
 #include "deco/eval/runner.h"
 #include "deco/nn/checkpoint.h"
 #include "deco/runtime/config.h"
 #include "deco/runtime/fleet.h"
+#include "deco/scenario/harness.h"
 #include "deco/tensor/check.h"
 #include "deco/tensor/serialize.h"
 
@@ -530,15 +533,92 @@ int cmd_inspect(int argc, char** argv, int first) {
 
 void print_bench_help() {
   std::printf(
-      "deco_cli bench — fleet throughput sweep over session counts\n\n"
+      "deco_cli bench — fleet throughput sweep, or the evaluation matrix\n\n"
+      "throughput sweep (default):\n"
       "  --sessions LIST  comma-separated counts (default 1,2,4)\n"
       "  --segments N     stream length per session          (default 6)\n"
       "  --seed N         base RNG seed                      (default 1)\n"
       "  --json PATH      also write the sweep as JSON\n"
-      "  --config FILE / --set key=value   same keys as serve\n");
+      "  --config FILE / --set key=value   same keys as serve\n\n"
+      "scenario evaluation matrix (--matrix):\n"
+      "  --matrix         run scenario x method cells through the harness\n"
+      "  --scenarios LIST comma-separated scenario names  (default: all)\n"
+      "  --methods LIST   comma-separated method names    (default: all)\n"
+      "  --segments N     per-session stream length override\n"
+      "  --seed N         cell seed                       (default 1)\n"
+      "  --out PATH       report path (default BENCH_scenarios.json)\n");
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > pos) out.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_bench_matrix(int argc, char** argv, int first) {
+  scenario::HarnessOptions options;
+  std::vector<std::string> wanted_scenarios, methods;
+  std::string out_path = "BENCH_scenarios.json";
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&] { return next_arg(argc, argv, i); };
+    if (a == "--matrix") continue;
+    if (a == "--help" || a == "-h") {
+      print_bench_help();
+      return 0;
+    }
+    else if (a == "--scenarios") wanted_scenarios = split_names(next());
+    else if (a == "--methods") methods = split_names(next());
+    else if (a == "--segments") options.segments = std::atoll(next());
+    else if (a == "--seed") options.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--out") out_path = next();
+    else DECO_CHECK(false, "unknown flag '" + a +
+                               "' for bench --matrix (see deco_cli bench "
+                               "--help)");
+  }
+
+  std::vector<scenario::ScenarioSpec> scenarios;
+  if (wanted_scenarios.empty()) {
+    scenarios = scenario::builtin_scenarios();
+  } else {
+    for (const std::string& n : wanted_scenarios)
+      scenarios.push_back(scenario::scenario_by_name(n));
+  }
+  if (methods.empty()) methods = scenario::builtin_methods();
+
+  scenario::MatrixReport report;
+  report.seed = options.seed;
+  report.threads = core::num_threads();
+  std::printf("%-18s %-13s %8s %8s %6s %9s\n", "scenario", "method", "acc",
+              "forget", "shed", "seconds");
+  for (const scenario::ScenarioSpec& spec : scenarios) {
+    for (const std::string& method : methods) {
+      scenario::CellResult cell = scenario::run_cell(spec, method, options);
+      std::printf("%-18s %-13s %8.2f %8.2f %6lld %9.2f\n",
+                  cell.scenario.c_str(), cell.method.c_str(), cell.accuracy,
+                  cell.forgetting, static_cast<long long>(cell.segments_shed),
+                  cell.wall_seconds);
+      std::fflush(stdout);
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  scenario::write_matrix_json(report, out_path);
+  std::printf("wrote %s (%zu cells)\n", out_path.c_str(),
+              report.cells.size());
+  return 0;
 }
 
 int cmd_bench(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    if (std::string(argv[i]) == "--matrix")
+      return cmd_bench_matrix(argc, argv, first);
+  }
   std::vector<int64_t> sessions = {1, 2, 4};
   int64_t segments = 6;
   uint64_t seed = 1;
@@ -625,7 +705,8 @@ void print_main_help() {
       "  deco_cli run     [flags]   single-learner experiment\n"
       "  deco_cli serve   [flags]   multi-session learner runtime\n"
       "  deco_cli inspect FILE...   checkpoint/state headers, no tensor loads\n"
-      "  deco_cli bench   [flags]   fleet throughput sweep\n\n"
+      "  deco_cli bench   [flags]   throughput sweep; --matrix runs the\n"
+      "                             scenario evaluation matrix\n\n"
       "`deco_cli <subcommand> --help` lists that subcommand's flags.\n"
       "Flags with no subcommand run `run` (pre-subcommand compatibility).\n");
 }
