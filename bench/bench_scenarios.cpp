@@ -106,6 +106,43 @@ int main() {
       ++failures;
     }
   }
+  // Paired memory-pressure gates: whenever a method ran both mem_pressure
+  // cells, the int8 cache must actually compress (>= 3.5x vs the logical
+  // fp32 bytes), admit at least as many sessions under the same budget, and
+  // stay within a smoke-test accuracy band of the fp32 cell.
+  for (const scenario::CellResult& f32 : report.cells) {
+    if (f32.scenario != "mem_pressure_fp32") continue;
+    for (const scenario::CellResult& q8 : report.cells) {
+      if (q8.scenario != "mem_pressure_int8" || q8.method != f32.method)
+        continue;
+      const double ratio =
+          q8.cache_stored_bytes > 0
+              ? static_cast<double>(q8.cache_logical_bytes) /
+                    static_cast<double>(q8.cache_stored_bytes)
+              : 0.0;
+      if (ratio < 3.5) {
+        std::cout << "FAIL: mem_pressure_int8/" << q8.method
+                  << " cache compression " << ratio << "x < 3.5x\n";
+        ++failures;
+      }
+      if (q8.sessions_admitted < f32.sessions_admitted) {
+        std::cout << "FAIL: mem_pressure_int8/" << q8.method << " admitted "
+                  << q8.sessions_admitted << " sessions < fp32's "
+                  << f32.sessions_admitted << "\n";
+        ++failures;
+      }
+      if (std::abs(q8.accuracy - f32.accuracy) > 20.0f) {
+        std::cout << "FAIL: mem_pressure int8 vs fp32 accuracy delta "
+                  << std::abs(q8.accuracy - f32.accuracy) << " > 20 for "
+                  << q8.method << "\n";
+        ++failures;
+      }
+      std::cout << "mem_pressure[" << q8.method << "]: compression=" << ratio
+                << "x admitted fp32=" << f32.sessions_admitted
+                << " int8=" << q8.sessions_admitted << "\n";
+    }
+  }
+
   const size_t expected = scenarios.size() * methods.size();
   if (report.cells.size() != expected) {
     std::cout << "FAIL: expected " << expected << " cells, got "

@@ -53,9 +53,16 @@ struct BaselineConfig {
   float lr_model = 1e-3f;
   float weight_decay = 5e-4f;
   int64_t train_batch = 32;
+  StoragePolicy storage;             ///< replay-row dtype (deco.cache_dtype)
 };
 
 /// One stored sample plus the metadata the strategies score with.
+///
+/// Under a non-fp32 buffer policy the pixels live in `stored` (quantized)
+/// and `image` is empty; training decodes on access. The feature/gradient
+/// sketches stay fp32: the replacement strategies score with them
+/// continuously and quantizing them would change eviction decisions, which
+/// is a policy question, not a storage one.
 struct StoredSample {
   Tensor image;
   int64_t label = 0;
@@ -63,23 +70,33 @@ struct StoredSample {
   int64_t arrival = 0;        ///< global arrival index (FIFO age)
   Tensor feature;             ///< encoder embedding (K-Center)
   Tensor gradient;            ///< last-layer gradient sketch (GSS)
+  QTensor stored;             ///< quantized pixels (non-fp32 policy only)
 };
 
 /// Class-balanced replay buffer with pluggable replacement policy.
 class ReplayBuffer {
  public:
-  ReplayBuffer(int64_t num_classes, int64_t ipc, Strategy strategy);
+  ReplayBuffer(int64_t num_classes, int64_t ipc, Strategy strategy,
+               DType dtype = DType::kF32, int64_t block = kDefaultQuantBlock);
 
   /// Offers one sample; the strategy decides whether and where it is stored.
+  /// Under a quantized policy the pixels are encoded here — rejected samples
+  /// never hold fp32 pixel copies either.
   void offer(StoredSample sample, Rng& rng);
 
   int64_t num_classes() const { return num_classes_; }
   int64_t ipc() const { return ipc_; }
   int64_t size() const;
+  DType storage_dtype() const { return dtype_; }
 
-  /// Flattens the buffer into training tensors.
+  /// Flattens the buffer into training tensors, decoding quantized rows.
   Tensor all_images() const;
   std::vector<int64_t> all_labels() const;
+
+  /// Bytes the stored pixel rows occupy as stored vs as logical fp32
+  /// (sketches and metadata excluded).
+  int64_t image_stored_bytes() const;
+  int64_t image_logical_bytes() const;
 
   const std::vector<StoredSample>& slot(int64_t cls) const {
     return slots_[static_cast<size_t>(cls)];
@@ -88,6 +105,8 @@ class ReplayBuffer {
  private:
   int64_t num_classes_, ipc_;
   Strategy strategy_;
+  DType dtype_;
+  int64_t block_;
   std::vector<std::vector<StoredSample>> slots_;
   std::vector<int64_t> seen_per_class_;  // reservoir counters
 };
@@ -110,9 +129,15 @@ class BaselineLearner : public core::OnDeviceLearner {
   /// Retrains the deployed model on the current replay buffer (the same
   /// routine the β-schedule triggers; no-op while the buffer is empty).
   void update_model_now() override;
-  /// Model parameters plus every stored sample (image, feature and gradient
-  /// sketches included).
+  /// Model parameters plus every stored sample (image rows at their stored
+  /// size, feature and gradient sketches as fp32).
   int64_t memory_bytes() const override;
+  int64_t cache_stored_bytes() const override {
+    return buffer_.image_stored_bytes();
+  }
+  int64_t cache_logical_bytes() const override {
+    return buffer_.image_logical_bytes();
+  }
 
   ReplayBuffer& buffer() { return buffer_; }
 
@@ -146,8 +171,11 @@ class UnlimitedLearner : public core::OnDeviceLearner {
   double condense_seconds() const override { return 0.0; }
   /// Retrains on everything stored so far (no-op while nothing is stored).
   void update_model_now() override;
-  /// Model parameters plus every stored sample (unbounded by design).
+  /// Model parameters plus every stored sample (unbounded by design; rows
+  /// count at their stored, possibly quantized, size).
   int64_t memory_bytes() const override;
+  int64_t cache_stored_bytes() const override;
+  int64_t cache_logical_bytes() const override;
 
   int64_t stored() const { return static_cast<int64_t>(labels_.size()); }
 
@@ -155,11 +183,14 @@ class UnlimitedLearner : public core::OnDeviceLearner {
   core::SegmentReport store_and_train(const Tensor& images,
                                       const std::vector<int64_t>& labels,
                                       const core::PseudoLabelResult& pl);
+  void store_image(const Tensor& img);
+  Tensor stacked_images() const;
 
   nn::ConvNet& model_;
   BaselineConfig config_;
   Rng rng_;
-  std::vector<Tensor> images_;
+  std::vector<Tensor> images_;     // fp32 policy
+  std::vector<QTensor> qimages_;   // quantized policy
   std::vector<int64_t> labels_;
   int64_t segments_seen_ = 0;
 };

@@ -12,6 +12,7 @@
 
 #include "deco/data/dataset.h"
 #include "deco/nn/module.h"
+#include "deco/tensor/dtype.h"
 #include "deco/tensor/rng.h"
 #include "deco/tensor/tensor.h"
 
@@ -89,6 +90,40 @@ class SyntheticBuffer {
   int64_t height() const { return height_; }
   int64_t width() const { return width_; }
 
+  // ---- quantized storage (deco.cache_dtype) --------------------------------
+  // Under a non-fp32 policy the cache's canonical form is a quantized
+  // QTensor; images_ is its fp32 *working copy* (condensers optimize raw
+  // floats through as_param()/gather/scatter). commit_storage() re-encodes
+  // the working copy and refreshes it to exactly the decoded values, so the
+  // invariant "images() == decode(stored_images())" holds at every segment
+  // boundary and save/load round-trips are byte-identical on the stored
+  // form. Under fp32 (default) nothing changes: commit is a no-op and the
+  // buffer is bit-identical to the pre-quantization implementation.
+
+  /// Sets the storage policy. Call before the first commit.
+  void set_storage(DType dtype, int64_t block = kDefaultQuantBlock);
+  DType storage_dtype() const { return store_dtype_; }
+  int64_t storage_block() const { return store_block_; }
+
+  /// Quantizes the working images into canonical storage and decodes them
+  /// back (quantization noise becomes visible to subsequent training, which
+  /// is what makes the stored bytes the honest cache). No-op under fp32.
+  void commit_storage();
+
+  /// Bytes the image cache occupies as stored (post-quantization) vs as
+  /// logical fp32 — the figures pool-budget admission and the scenario
+  /// matrix report.
+  int64_t stored_bytes() const;
+  int64_t logical_bytes() const {
+    return images_.numel() * static_cast<int64_t>(sizeof(float));
+  }
+
+  /// Canonical stored form (valid after commit_storage; invalid under fp32).
+  const QTensor& stored_images() const { return qimages_; }
+  /// Restores quantized storage from a deserialized QTensor and decodes the
+  /// working copy from it (load_state path). Shape/dtype must match.
+  void restore_stored(QTensor q);
+
  private:
   int64_t num_classes_, ipc_, channels_, height_, width_;
   Tensor images_;  // [M, C, H, W], row r has label r / ipc
@@ -97,6 +132,9 @@ class SyntheticBuffer {
   bool soft_labels_ = false;
   Tensor label_logits_;  // [M, num_classes], valid when soft_labels_
   Tensor label_grads_;
+  DType store_dtype_ = DType::kF32;
+  int64_t store_block_ = kDefaultQuantBlock;
+  QTensor qimages_;  // canonical stored cache when store_dtype_ != kF32
 };
 
 }  // namespace deco::condense

@@ -75,9 +75,24 @@ class OnDeviceLearner {
   virtual void load_state(const std::string& path);
 
   /// Approximate resident bytes of learner-owned state (model parameters
-  /// plus buffer contents). The multi-session runtime partitions the tensor
-  /// pool budget across sessions with this estimate.
+  /// plus buffer contents, *as stored* — a quantized cache reports its
+  /// post-quantization byte count). The multi-session runtime partitions the
+  /// tensor pool budget across sessions with this estimate.
   virtual int64_t memory_bytes() const { return 0; }
+
+  /// Stored vs logical-fp32 bytes of the learner's sample cache (condensed
+  /// buffer or replay rows; the model is excluded). The scenario matrix
+  /// reports both so the compression ratio of quantized caches is tracked
+  /// per PR. Learners without a cache return 0.
+  virtual int64_t cache_stored_bytes() const { return 0; }
+  virtual int64_t cache_logical_bytes() const { return 0; }
+
+  /// Applies the runtime's checkpoint dtype policy (runtime.checkpoint_dtype)
+  /// to subsequent save_state calls. The default ignores it; stateful
+  /// learners store model parameters at this dtype. fp32 (the default)
+  /// preserves bit-exact crash resume; fp16/int8 trade that for smaller
+  /// checkpoint files.
+  virtual void set_checkpoint_dtype(DType dtype) { (void)dtype; }
 };
 
 /// Hyper-parameters of the DECO learner (paper Section IV-A3 defaults).
@@ -92,6 +107,7 @@ struct DecoConfig {
   bool use_majority_voting = true;  ///< ablation switch
   condense::DecoCondenserConfig condenser;
   GuardConfig guard;  ///< numeric-health policy (guard.enabled=false to ablate)
+  StoragePolicy storage;  ///< cache/checkpoint dtypes (deco.cache_dtype etc.)
 
   /// Throws deco::Error on out-of-range hyper-parameters (called by the
   /// DecoLearner constructor, so bad configs fail loudly up front).
@@ -118,8 +134,14 @@ class DecoLearner : public OnDeviceLearner {
   nn::ConvNet& model() override { return model_; }
   std::string name() const override;
   double condense_seconds() const override { return condense_seconds_; }
-  /// Model parameters plus the synthetic buffer (and soft-label logits).
+  /// Model parameters plus the synthetic buffer (and soft-label logits),
+  /// counting the buffer at its stored (possibly quantized) size.
   int64_t memory_bytes() const override;
+  int64_t cache_stored_bytes() const override;
+  int64_t cache_logical_bytes() const override;
+  void set_checkpoint_dtype(DType dtype) override {
+    config_.storage.checkpoint_dtype = dtype;
+  }
 
   condense::SyntheticBuffer& buffer() { return buffer_; }
   const DecoConfig& config() const { return config_; }

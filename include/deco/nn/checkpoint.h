@@ -9,6 +9,7 @@
 #include <string>
 
 #include "deco/nn/module.h"
+#include "deco/tensor/dtype.h"
 
 namespace deco::nn {
 
@@ -18,6 +19,13 @@ namespace deco::nn {
 /// atomic (temp file + rename), so a crash mid-save preserves the previous
 /// checkpoint.
 void save_checkpoint(const std::string& path, Module& model);
+
+/// Dtype-policy variant: parameters are stored as v3 records at `dtype`
+/// (runtime.checkpoint_dtype). kF32 is identical to the two-argument
+/// overload byte-for-byte; fp16/int8 shrink the file at the cost of
+/// quantized (no longer bit-exact) parameters on load.
+void save_checkpoint(const std::string& path, Module& model, DType dtype,
+                     int64_t block = kDefaultQuantBlock);
 
 /// Loads parameters saved by save_checkpoint into `model`. The module must
 /// expose the same parameter names/shapes in the same order; mismatches,

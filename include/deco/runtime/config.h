@@ -35,6 +35,9 @@ struct RuntimeConfig {
   int64_t pool_budget_mb = 0;   ///< fleet memory budget; 0 = the tensor
                                 ///< pool cap (DECO_TENSOR_POOL_MB)
   bool keep_reports = false;    ///< retain every SegmentReport per session
+  DType checkpoint_dtype = DType::kF32;  ///< dtype applied to every hosted
+                                         ///< learner's save_state model
+                                         ///< parameters (fp32 = bit-exact)
 
   /// Throws deco::Error on out-of-range knobs.
   void validate() const;
@@ -71,6 +74,8 @@ class ConfigMap {
   double get_double(const std::string& key, double fallback);
   bool get_bool(const std::string& key, bool fallback);
   std::string get_string(const std::string& key, const std::string& fallback);
+  /// "fp32" | "fp16" | "int8"; bad values throw naming the key.
+  DType get_dtype(const std::string& key, DType fallback);
 
   /// Applies every `deco.*` key. Unknown keys under the prefix throw.
   void apply(core::DecoConfig& cfg);

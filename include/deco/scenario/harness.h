@@ -10,7 +10,7 @@
 // shed segments, wall time.
 //
 // run_matrix() maps run_cell over the catalog and a method list; the report
-// serializes to BENCH_scenarios.json (schema "deco.bench_scenarios.v1"), the
+// serializes to BENCH_scenarios.json (schema "deco.bench_scenarios.v2"), the
 // per-PR tracked artifact. Every numeric field except wall_seconds is
 // deterministic for a given seed at any DECO_NUM_THREADS;
 // CellResult::deterministic_json() renders exactly that comparable subset so
@@ -57,7 +57,17 @@ struct HarnessOptions {
 struct CellResult {
   std::string scenario;
   std::string method;
-  int64_t sessions = 0;
+  int64_t sessions = 0;            ///< sessions the scenario *offered*
+  /// Sessions the runtime's pool-budget admission accepted. Equal to
+  /// `sessions` whenever the scenario leaves pool_budget_mb at 0; smaller in
+  /// memory-pressure cells where admission rejects part of the fleet. Every
+  /// per-session metric below averages over admitted sessions only.
+  int64_t sessions_admitted = 0;
+  std::string cache_dtype = "fp32";  ///< the scenario's cache storage dtype
+  /// Summed cache bytes over admitted sessions, as stored (post-quantization)
+  /// and as logical fp32 — their ratio is the compression the cell achieved.
+  int64_t cache_stored_bytes = 0;
+  int64_t cache_logical_bytes = 0;
   int64_t segments_submitted = 0;  ///< segments offered to the queues
   int64_t segments_processed = 0;  ///< segments the learners consumed
   int64_t segments_shed = 0;       ///< dropped by kShedOldest under bursts

@@ -24,6 +24,7 @@
 #include "deco/data/faults.h"
 #include "deco/data/stream.h"
 #include "deco/runtime/queue.h"
+#include "deco/tensor/dtype.h"
 
 namespace deco::scenario {
 
@@ -61,6 +62,16 @@ struct ScenarioSpec {
   int64_t sessions = 1;
   std::vector<SessionVariant> variants;  ///< empty = homogeneous fleet
 
+  /// Fleet memory budget in MiB for the runtime's admission control
+  /// (0 = unbounded, the pre-existing behavior). A memory-pressure scenario
+  /// sets this low enough that admission rejects part of the fleet; the
+  /// harness records how many sessions actually got in (sessions_admitted).
+  int64_t pool_budget_mb = 0;
+  /// Storage dtype for every session's condensed/replay cache. Quantized
+  /// caches report smaller memory_bytes(), so more sessions fit under the
+  /// same pool budget — the trade the memory-pressure cells measure.
+  DType cache_dtype = DType::kF32;
+
   /// Throws deco::Error on an inconsistent spec (e.g. a burst larger than
   /// the queue under kBlock, which would deadlock the single-producer
   /// harness).
@@ -68,7 +79,8 @@ struct ScenarioSpec {
 };
 
 /// The built-in catalog: clean, class_incremental, drift_abrupt,
-/// drift_gradual, label_noise, faulty_sensors, bursty_shed, hetero_fleet.
+/// drift_gradual, label_noise, faulty_sensors, bursty_shed, hetero_fleet,
+/// mem_pressure_fp32, mem_pressure_int8.
 std::vector<ScenarioSpec> builtin_scenarios();
 std::vector<std::string> scenario_names();
 /// Throws deco::Error naming the scenario when unknown.

@@ -6,10 +6,19 @@
 //
 //   v2: magic "DECOTNSR" | u32 version=2 | u32 ndim | i64 dims[ndim]
 //       | f32 data[] | u32 crc32
+//   v3: magic "DECOTNSR" | u32 version=3 | u8 dtype | u8 reserved=0
+//       | u16 block | u32 ndim | i64 dims[ndim] | payload[] | u32 crc32
 //
-// The CRC32 trailer (IEEE polynomial, over everything between the magic and
-// the trailer) detects the torn/bit-rotted files a power-loss-prone device
-// produces. v1 files (no trailer) remain readable; writers always emit v2.
+// v3 carries a storage dtype tag (deco/tensor/dtype.h): fp32 payloads are
+// raw f32 (bit-exact round-trip with the source tensor), fp16 payloads are
+// binary16, int8 payloads are block-quantized (per-block f16 scale +
+// zero-point; `block` is the block length in elements, 0 for non-quantized
+// dtypes). The CRC32 trailer (IEEE polynomial, over everything between the
+// magic and the trailer) detects the torn/bit-rotted files a
+// power-loss-prone device produces — in v3 it covers the *encoded* payload,
+// so corruption is caught before any dequantization. v1 (no trailer) and v2
+// files remain readable forever; the 2-argument write_tensor still emits v2
+// byte-identically so existing fp32 files and golden fixtures are stable.
 // File-path saves are atomic: data is written to `<path>.tmp` and renamed
 // over the target, so a crash mid-save never destroys the previous state.
 //
@@ -23,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "deco/tensor/dtype.h"
 #include "deco/tensor/tensor.h"
 
 namespace deco {
@@ -36,30 +46,54 @@ uint32_t crc32(const void* data, size_t n, uint32_t seed = 0);
 /// never observe a torn file. Throws deco::Error on I/O failure.
 void atomic_write_file(const std::string& path, const std::string& bytes);
 
-/// Writes one tensor to a binary stream (format v2, CRC32-trailed). Throws
-/// deco::Error on I/O failure.
+/// Writes one fp32 tensor to a binary stream (format v2, CRC32-trailed).
+/// Kept byte-identical to the pre-dtype writer so legacy fixtures and
+/// default-policy state files never change. Throws deco::Error on failure.
 void write_tensor(std::ostream& os, const Tensor& t);
 
-/// Reads one tensor written by write_tensor — v2 (with CRC verification) or
-/// legacy v1. Throws deco::Error on malformed, truncated, oversized or
-/// corrupted input, before any allocation for implausible headers.
+/// Writes one tensor at storage dtype `dtype` (format v3, CRC32-trailed).
+/// kF32 stores the exact bits (read_tensor round-trips bit-exactly); kF16 /
+/// kQ8 quantize through the scalar reference codec in dtype.h. `block` is
+/// the kQ8 block length (ignored for other dtypes).
+void write_tensor(std::ostream& os, const Tensor& t, DType dtype,
+                  int64_t block = kDefaultQuantBlock);
+
+/// Writes an already-encoded quantized tensor (format v3) without
+/// re-encoding — the stored bytes go to the stream verbatim, which is what
+/// makes save -> load -> save byte-identical for quantized caches even
+/// though quantization itself is not idempotent.
+void write_qtensor(std::ostream& os, const QTensor& q);
+
+/// Reads one tensor written by any write_tensor — v3 (dtype-aware, payload
+/// dequantized to fp32), v2 (CRC-verified) or legacy v1. Throws deco::Error
+/// on malformed, truncated, oversized or corrupted input, before any
+/// allocation for implausible headers.
 Tensor read_tensor(std::istream& is);
+
+/// Reads one tensor record into its *stored* form without dequantizing:
+/// v3 records keep their encoded payload byte-for-byte; v1/v2 records come
+/// back as fp32 QTensors wrapping the raw data. Same validation and CRC
+/// discipline as read_tensor.
+QTensor read_qtensor(std::istream& is);
 
 /// Convenience file-path wrappers. save_tensor is atomic (see above).
 void save_tensor(const std::string& path, const Tensor& t);
 Tensor load_tensor(const std::string& path);
 
-/// Shape/version metadata of one serialized tensor, read without touching
-/// its payload (checkpoint-inspection tooling).
+/// Shape/version/dtype metadata of one serialized tensor, read without
+/// touching its payload (checkpoint-inspection tooling).
 struct TensorInfo {
-  uint32_t version = 0;            ///< container version (1 or 2)
+  uint32_t version = 0;            ///< container version (1, 2 or 3)
+  DType dtype = DType::kF32;       ///< storage dtype (always kF32 for v1/v2)
+  int64_t block = 0;               ///< kQ8 block length; 0 otherwise
   std::vector<int64_t> shape;
   int64_t numel = 0;
-  int64_t payload_bytes = 0;       ///< f32 data bytes (CRC trailer excluded)
+  int64_t payload_bytes = 0;       ///< stored (possibly compressed) payload
+                                   ///< bytes, CRC trailer excluded
 };
 
 /// Reads one tensor HEADER from the stream and seeks past the payload (and
-/// v2 CRC trailer) without loading or checksumming the data, leaving the
+/// v2/v3 CRC trailer) without loading or checksumming the data, leaving the
 /// stream at the next record. Throws deco::Error on malformed headers or a
 /// stream too short to contain the declared payload.
 TensorInfo skip_tensor(std::istream& is);

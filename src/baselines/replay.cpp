@@ -91,9 +91,18 @@ Strategy strategy_from_name(const std::string& name) {
   return Strategy::kRandom;
 }
 
-ReplayBuffer::ReplayBuffer(int64_t num_classes, int64_t ipc, Strategy strategy)
-    : num_classes_(num_classes), ipc_(ipc), strategy_(strategy) {
+ReplayBuffer::ReplayBuffer(int64_t num_classes, int64_t ipc, Strategy strategy,
+                           DType dtype, int64_t block)
+    : num_classes_(num_classes),
+      ipc_(ipc),
+      strategy_(strategy),
+      dtype_(dtype),
+      block_(block) {
   DECO_CHECK(num_classes >= 1 && ipc >= 1, "ReplayBuffer: bad dimensions");
+  StoragePolicy p;
+  p.cache_dtype = dtype;
+  p.block = block;
+  p.validate();
   slots_.resize(static_cast<size_t>(num_classes));
   seen_per_class_.assign(static_cast<size_t>(num_classes), 0);
 }
@@ -107,6 +116,12 @@ int64_t ReplayBuffer::size() const {
 void ReplayBuffer::offer(StoredSample sample, Rng& rng) {
   const int64_t cls = sample.label;
   DECO_CHECK(cls >= 0 && cls < num_classes_, "ReplayBuffer: label range");
+  if (dtype_ != DType::kF32 && sample.image.numel() > 0) {
+    // Quantize at the door: the row is stored (and counted) encoded, and
+    // the fp32 pixels are dropped immediately.
+    sample.stored = QTensor::encode(sample.image, dtype_, block_);
+    sample.image = Tensor();
+  }
   auto& slot = slots_[static_cast<size_t>(cls)];
   ++seen_per_class_[static_cast<size_t>(cls)];
 
@@ -192,9 +207,28 @@ void ReplayBuffer::offer(StoredSample sample, Rng& rng) {
 Tensor ReplayBuffer::all_images() const {
   std::vector<Tensor> items;
   for (const auto& slot : slots_)
-    for (const auto& s : slot) items.push_back(s.image);
+    for (const auto& s : slot)
+      items.push_back(dtype_ == DType::kF32 ? s.image : s.stored.decode());
   DECO_CHECK(!items.empty(), "ReplayBuffer::all_images: buffer empty");
   return stack(items);
+}
+
+int64_t ReplayBuffer::image_stored_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& slot : slots_)
+    for (const auto& s : slot)
+      bytes += dtype_ == DType::kF32
+                   ? s.image.numel() * static_cast<int64_t>(sizeof(float))
+                   : s.stored.stored_bytes();
+  return bytes;
+}
+
+int64_t ReplayBuffer::image_logical_bytes() const {
+  int64_t floats = 0;
+  for (const auto& slot : slots_)
+    for (const auto& s : slot)
+      floats += dtype_ == DType::kF32 ? s.image.numel() : s.stored.numel();
+  return floats * static_cast<int64_t>(sizeof(float));
 }
 
 std::vector<int64_t> ReplayBuffer::all_labels() const {
@@ -212,7 +246,8 @@ BaselineLearner::BaselineLearner(nn::ConvNet& model, Strategy strategy,
       strategy_(strategy),
       config_(config),
       rng_(seed),
-      buffer_(model.config().num_classes, config.ipc, strategy) {}
+      buffer_(model.config().num_classes, config.ipc, strategy,
+              config.storage.cache_dtype, config.storage.block) {}
 
 void BaselineLearner::init_buffer_from(const data::Dataset& labeled) {
   const bool needs_feats =
@@ -310,12 +345,15 @@ void BaselineLearner::update_model_now() {
 }
 
 int64_t BaselineLearner::memory_bytes() const {
+  // Pixel rows count at their *stored* (post-quantization) size; the
+  // strategy sketches and the model remain fp32-resident.
   int64_t floats = 0;
   for (int64_t cls = 0; cls < buffer_.num_classes(); ++cls)
     for (const StoredSample& s : buffer_.slot(cls))
-      floats += s.image.numel() + s.feature.numel() + s.gradient.numel();
+      floats += s.feature.numel() + s.gradient.numel();
   for (const nn::ParamRef& p : model_.parameters()) floats += p.value->numel();
-  return floats * static_cast<int64_t>(sizeof(float));
+  return buffer_.image_stored_bytes() +
+         floats * static_cast<int64_t>(sizeof(float));
 }
 
 // ---- UnlimitedLearner ------------------------------------------------------------
@@ -324,9 +362,25 @@ UnlimitedLearner::UnlimitedLearner(nn::ConvNet& model, BaselineConfig config,
                                    uint64_t seed)
     : model_(model), config_(config), rng_(seed) {}
 
+void UnlimitedLearner::store_image(const Tensor& img) {
+  if (config_.storage.cache_dtype == DType::kF32)
+    images_.push_back(img);
+  else
+    qimages_.push_back(QTensor::encode(img, config_.storage.cache_dtype,
+                                       config_.storage.block));
+}
+
+Tensor UnlimitedLearner::stacked_images() const {
+  if (config_.storage.cache_dtype == DType::kF32) return stack(images_);
+  std::vector<Tensor> decoded;
+  decoded.reserve(qimages_.size());
+  for (const QTensor& q : qimages_) decoded.push_back(q.decode());
+  return stack(decoded);
+}
+
 void UnlimitedLearner::init_buffer_from(const data::Dataset& labeled) {
   for (int64_t i = 0; i < labeled.size(); ++i) {
-    images_.push_back(labeled.image(i));
+    store_image(labeled.image(i));
     labels_.push_back(labeled.label(i));
   }
 }
@@ -359,7 +413,7 @@ core::SegmentReport UnlimitedLearner::store_and_train(
   for (int64_t i = 0; i < n; ++i) {
     Tensor img({images.dim(1), images.dim(2), images.dim(3)});
     std::copy(images.data() + i * per, images.data() + (i + 1) * per, img.data());
-    images_.push_back(std::move(img));
+    store_image(img);
     labels_.push_back(labels[static_cast<size_t>(i)]);
   }
 
@@ -369,16 +423,30 @@ core::SegmentReport UnlimitedLearner::store_and_train(
 }
 
 void UnlimitedLearner::update_model_now() {
-  if (images_.empty()) return;
-  core::train_classifier(model_, stack(images_), labels_,
+  if (labels_.empty()) return;
+  core::train_classifier(model_, stacked_images(), labels_,
                          config_.model_update_epochs, config_.lr_model,
                          config_.weight_decay, config_.train_batch, rng_);
 }
 
 int64_t UnlimitedLearner::memory_bytes() const {
   int64_t floats = 0;
-  for (const Tensor& img : images_) floats += img.numel();
   for (const nn::ParamRef& p : model_.parameters()) floats += p.value->numel();
+  return cache_stored_bytes() + floats * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t UnlimitedLearner::cache_stored_bytes() const {
+  int64_t bytes = 0;
+  for (const Tensor& img : images_)
+    bytes += img.numel() * static_cast<int64_t>(sizeof(float));
+  for (const QTensor& q : qimages_) bytes += q.stored_bytes();
+  return bytes;
+}
+
+int64_t UnlimitedLearner::cache_logical_bytes() const {
+  int64_t floats = 0;
+  for (const Tensor& img : images_) floats += img.numel();
+  for (const QTensor& q : qimages_) floats += q.numel();
   return floats * static_cast<int64_t>(sizeof(float));
 }
 

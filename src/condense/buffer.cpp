@@ -188,4 +188,45 @@ nn::ParamRef SyntheticBuffer::as_param() {
 
 void SyntheticBuffer::clamp_pixels() { images_.clamp_(0.0f, 1.0f); }
 
+void SyntheticBuffer::set_storage(DType dtype, int64_t block) {
+  StoragePolicy p;
+  p.cache_dtype = dtype;
+  p.block = block;
+  p.validate();
+  store_dtype_ = dtype;
+  store_block_ = block;
+  if (dtype == DType::kF32) {
+    qimages_ = QTensor();
+  } else {
+    // Allocate the canonical storage once; commits re-encode in place.
+    qimages_ = QTensor::encode(images_, dtype, block);
+  }
+}
+
+void SyntheticBuffer::commit_storage() {
+  if (store_dtype_ == DType::kF32) return;
+  qimages_.reencode(images_);
+  qimages_.decode_into(images_.data());
+}
+
+int64_t SyntheticBuffer::stored_bytes() const {
+  if (store_dtype_ == DType::kF32) return logical_bytes();
+  return qimages_.stored_bytes();
+}
+
+void SyntheticBuffer::restore_stored(QTensor q) {
+  DECO_CHECK(store_dtype_ != DType::kF32,
+             "restore_stored: buffer storage policy is fp32");
+  DECO_CHECK(q.dtype() == store_dtype_,
+             "restore_stored: state dtype " + dtype_name(q.dtype()) +
+                 " does not match the configured cache dtype " +
+                 dtype_name(store_dtype_));
+  DECO_CHECK(q.numel() == images_.numel() && q.shape() == images_.shape(),
+             "restore_stored: stored shape mismatch");
+  DECO_CHECK(q.block() == store_block_,
+             "restore_stored: stored block length mismatch");
+  qimages_ = std::move(q);
+  qimages_.decode_into(images_.data());
+}
+
 }  // namespace deco::condense

@@ -98,6 +98,7 @@ void DecoConfig::validate() const {
   DECO_CHECK(condenser.lr_syn > 0.0f, "DecoConfig: condenser.lr_syn must be > 0");
   DECO_CHECK(condenser.alpha >= 0.0f, "DecoConfig: condenser.alpha must be >= 0");
   guard.validate();
+  storage.validate();
 }
 
 DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed)
@@ -116,6 +117,7 @@ DecoLearner::DecoLearner(nn::ConvNet& model, DecoConfig config, uint64_t seed,
       guard_(config.guard) {
   DECO_CHECK(condenser_ != nullptr, "DecoLearner: null condenser");
   config_.validate();
+  buffer_.set_storage(config_.storage.cache_dtype, config_.storage.block);
 }
 
 std::string DecoLearner::name() const { return condenser_->name(); }
@@ -124,6 +126,9 @@ void DecoLearner::init_buffer_from(const data::Dataset& labeled) {
   buffer_.init_from_dataset(labeled, rng_);
   if (config_.condenser.learn_soft_labels && !buffer_.soft_labels_enabled())
     buffer_.enable_soft_labels();
+  // The warm start goes through quantized storage too, so training always
+  // sees exactly what the cache can represent.
+  buffer_.commit_storage();
 }
 
 SegmentReport DecoLearner::observe_segment(const Tensor& images) {
@@ -222,6 +227,12 @@ SegmentReport DecoLearner::observe_segment(const Tensor& images) {
     }
     condense_seconds_ += now_seconds() - t0;
 
+    // The segment's refinements become durable by passing through the
+    // (possibly quantized) canonical storage: the working images are
+    // re-encoded and refreshed to the decoded values, so quantization noise
+    // is visible to subsequent training rather than hidden until a save.
+    buffer_.commit_storage();
+
     if (auto* deco = dynamic_cast<condense::DecoCondenser*>(condenser_.get());
         deco != nullptr && !deco->last_distances().empty()) {
       report.condense_distance = deco->last_distances().back();
@@ -259,12 +270,22 @@ void DecoLearner::update_model_now() {
 }
 
 int64_t DecoLearner::memory_bytes() const {
-  int64_t floats = buffer_.images().numel();
+  // The image cache counts at its *stored* size (post-quantization); soft
+  // logits and model parameters stay resident as fp32.
+  int64_t floats = 0;
   if (buffer_.soft_labels_enabled())
     floats += buffer_.size() * buffer_.num_classes();
   for (const nn::ParamRef& p : model_.parameters())
     floats += p.value->numel();
-  return floats * static_cast<int64_t>(sizeof(float));
+  return buffer_.stored_bytes() + floats * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t DecoLearner::cache_stored_bytes() const {
+  return buffer_.stored_bytes();
+}
+
+int64_t DecoLearner::cache_logical_bytes() const {
+  return buffer_.logical_bytes();
 }
 
 void DecoLearner::save_state(const std::string& path) const {
@@ -278,12 +299,23 @@ void DecoLearner::save_state(const std::string& path) const {
 
   auto params = model_.parameters();
   write_pod(os, static_cast<uint32_t>(params.size()));
+  const StoragePolicy& sp = config_.storage;
   for (const nn::ParamRef& p : params) {
     write_string(os, p.name);
-    write_tensor(os, *p.value);
+    // fp32 keeps the legacy v2 record (bit-exact resume, stable files);
+    // fp16/int8 emit v3 records at the checkpoint dtype.
+    if (sp.checkpoint_dtype == DType::kF32)
+      write_tensor(os, *p.value);
+    else
+      write_tensor(os, *p.value, sp.checkpoint_dtype, sp.block);
   }
 
-  write_tensor(os, buffer_.images());
+  // A quantized cache persists its canonical stored bytes verbatim (no
+  // re-encode), which is what makes save -> load -> save byte-identical.
+  if (sp.cache_dtype == DType::kF32)
+    write_tensor(os, buffer_.images());
+  else
+    write_qtensor(os, buffer_.stored_images());
   const uint8_t soft = buffer_.soft_labels_enabled() ? 1 : 0;
   write_pod(os, soft);
   if (soft != 0)
@@ -353,10 +385,25 @@ void DecoLearner::load_state(const std::string& path) {
     staged.push_back(std::move(t));
   }
 
-  Tensor images = read_tensor(is);
-  DECO_CHECK(images.shape() == buffer_.images().shape(),
-             "load_state: buffer shape mismatch (file " + images.shape_str() +
-                 ", buffer " + buffer_.images().shape_str() + ")");
+  // The buffer record is staged in its stored form: a quantized cache is
+  // restored byte-for-byte, an fp32 cache decodes to the exact saved bits.
+  QTensor qimages = read_qtensor(is);
+  DECO_CHECK(qimages.shape() == buffer_.images().shape(),
+             "load_state: buffer shape mismatch (buffer " +
+                 buffer_.images().shape_str() + ")");
+  if (config_.storage.cache_dtype == DType::kF32) {
+    DECO_CHECK(qimages.dtype() == DType::kF32,
+               "load_state: state cache dtype " + dtype_name(qimages.dtype()) +
+                   " does not match the configured fp32 cache (set "
+                   "deco.cache_dtype to match the saved state)");
+  } else {
+    DECO_CHECK(qimages.dtype() == config_.storage.cache_dtype &&
+                   qimages.block() == config_.storage.block,
+               "load_state: state cache dtype/block (" +
+                   dtype_name(qimages.dtype()) +
+                   ") does not match the configured deco.cache_dtype (" +
+                   dtype_name(config_.storage.cache_dtype) + ")");
+  }
   const uint8_t soft = read_pod<uint8_t>(is);
   Tensor logits;
   if (soft != 0) {
@@ -373,7 +420,10 @@ void DecoLearner::load_state(const std::string& path) {
   // Commit.
   for (size_t i = 0; i < params.size(); ++i)
     *params[i].value = std::move(staged[i]);
-  buffer_.images() = std::move(images);
+  if (config_.storage.cache_dtype == DType::kF32)
+    buffer_.images() = qimages.decode();
+  else
+    buffer_.restore_stored(std::move(qimages));
   if (soft != 0) {
     if (!buffer_.soft_labels_enabled()) buffer_.enable_soft_labels();
     buffer_.label_logits() = std::move(logits);

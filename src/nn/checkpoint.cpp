@@ -32,6 +32,11 @@ std::string read_string(std::istream& is) {
 }  // namespace
 
 void save_checkpoint(const std::string& path, Module& model) {
+  save_checkpoint(path, model, DType::kF32);
+}
+
+void save_checkpoint(const std::string& path, Module& model, DType dtype,
+                     int64_t block) {
   // Serialize to memory first, then write atomically: a crash mid-save must
   // never clobber the previous on-disk checkpoint.
   std::ostringstream os(std::ios::binary);
@@ -41,7 +46,12 @@ void save_checkpoint(const std::string& path, Module& model) {
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (ParamRef& p : params) {
     write_string(os, p.name);
-    write_tensor(os, *p.value);
+    // fp32 keeps the legacy v2 record so default checkpoints stay
+    // byte-identical; other dtypes emit dtype-tagged v3 records.
+    if (dtype == DType::kF32)
+      write_tensor(os, *p.value);
+    else
+      write_tensor(os, *p.value, dtype, block);
   }
   DECO_CHECK(static_cast<bool>(os), "save_checkpoint: serialization failed");
   atomic_write_file(path, os.str());

@@ -229,6 +229,26 @@ std::string ConfigMap::get_string(const std::string& key,
   return e->value;
 }
 
+namespace {
+/// Converts one entry's value to a DType, naming the key on bad values.
+DType to_dtype(const std::string& key, const std::string& value) {
+  try {
+    return dtype_from_name(value);
+  } catch (const Error&) {
+    DECO_CHECK(false, "config: key '" + key +
+                          "' expects fp32 | fp16 | int8, got '" + value + "'");
+  }
+  return DType::kF32;
+}
+}  // namespace
+
+DType ConfigMap::get_dtype(const std::string& key, DType fallback) {
+  Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  e->consumed = true;
+  return to_dtype(e->key, e->value);
+}
+
 void ConfigMap::apply(core::DecoConfig& cfg) {
   for (Entry& e : entries_) {
     if (e.key.rfind("deco.", 0) != 0) continue;
@@ -252,6 +272,9 @@ void ConfigMap::apply(core::DecoConfig& cfg) {
     else if (k == "guard.max_grad_norm") cfg.guard.max_grad_norm = static_cast<float>(to_double(e));
     else if (k == "guard.max_condense_distance") cfg.guard.max_condense_distance = static_cast<float>(to_double(e));
     else if (k == "guard.backoff") cfg.guard.backoff = static_cast<float>(to_double(e));
+    else if (k == "cache_dtype") cfg.storage.cache_dtype = to_dtype(e.key, e.value);
+    else if (k == "checkpoint_dtype") cfg.storage.checkpoint_dtype = to_dtype(e.key, e.value);
+    else if (k == "quant_block") cfg.storage.block = to_int(e);
     else DECO_CHECK(false, "config: unknown key '" + e.key + "'");
     e.consumed = true;
   }
@@ -293,6 +316,7 @@ void ConfigMap::apply(RuntimeConfig& cfg) {
     else if (k == "quarantine_after") cfg.quarantine_after = to_int(e);
     else if (k == "pool_budget_mb") cfg.pool_budget_mb = to_int(e);
     else if (k == "keep_reports") cfg.keep_reports = to_bool(e);
+    else if (k == "checkpoint_dtype") cfg.checkpoint_dtype = to_dtype(e.key, e.value);
     else DECO_CHECK(false, "config: unknown key '" + e.key + "'");
     e.consumed = true;
   }

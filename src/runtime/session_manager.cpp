@@ -27,6 +27,11 @@ void SessionManager::add_session(const std::string& name,
                                  std::shared_ptr<void> keepalive) {
   DECO_CHECK(learner != nullptr, "add_session: learner must not be null");
   DECO_CHECK(!name.empty(), "add_session: session name must not be empty");
+  // The runtime's checkpoint dtype policy applies to every hosted learner;
+  // fp32 is the default and leaves save_state bit-exact.
+  learner->set_checkpoint_dtype(config_.checkpoint_dtype);
+  // memory_bytes() reports the cache as *stored* (post-quantization), so a
+  // quantized fleet admits more sessions under the same pool budget.
   const int64_t bytes = learner->memory_bytes();
 
   std::lock_guard<std::mutex> lock(sessions_mutex_);

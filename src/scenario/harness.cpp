@@ -73,6 +73,10 @@ struct SessionCtx {
   data::SegmentSource* head = nullptr;
   std::vector<std::vector<int64_t>> submitted_labels;
   eval::ForgettingTracker tracker;
+  /// False when the runtime's pool-budget admission rejected this session
+  /// (memory-pressure scenarios). Rejected sessions submit nothing and are
+  /// excluded from every per-session metric.
+  bool admitted = true;
 };
 
 }  // namespace
@@ -109,6 +113,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
   rc.queue_depth = spec.queue_depth;
   rc.overflow = spec.overflow;
   rc.keep_reports = true;
+  if (spec.pool_budget_mb > 0) rc.pool_budget_mb = spec.pool_budget_mb;
   runtime::SessionManager manager(rc);
 
   // ---- build sessions -------------------------------------------------------
@@ -158,6 +163,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
     if (is_condensation_method(method)) {
       core::DecoConfig dc;
       dc.ipc = ipc;
+      dc.storage.cache_dtype = spec.cache_dtype;
       dc.beta = options.beta;
       dc.model_update_epochs = options.model_update_epochs;
       dc.condenser.iterations = options.condenser_iterations;
@@ -170,6 +176,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
     } else if (method == "upper_bound") {
       baselines::BaselineConfig bc;
       bc.ipc = ipc;
+      bc.storage.cache_dtype = spec.cache_dtype;
       bc.beta = options.beta;
       bc.model_update_epochs = options.model_update_epochs;
       auto ub = std::make_unique<baselines::UnlimitedLearner>(
@@ -179,6 +186,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
     } else {
       baselines::BaselineConfig bc;
       bc.ipc = ipc;
+      bc.storage.cache_dtype = spec.cache_dtype;
       bc.beta = options.beta;
       bc.model_update_epochs = options.model_update_epochs;
       auto bl = std::make_unique<baselines::BaselineLearner>(
@@ -187,7 +195,15 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
       bl->init_buffer_from(pretrain);
       learner = std::move(bl);
     }
-    manager.add_session(ctx.name, std::move(learner), model);
+    // Under a memory-pressure budget, admission is expected to reject part
+    // of the fleet — that's the measurement, not a failure. Rejected
+    // sessions get no stream and drop out of every metric below.
+    try {
+      manager.add_session(ctx.name, std::move(learner), model);
+    } catch (const Error&) {
+      ctx.admitted = false;
+      continue;
+    }
 
     // ---- decorator chain: base -> [faults] -> [class-inc] -> [drift]
     //      -> [label noise] --------------------------------------------------
@@ -227,18 +243,28 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
   cell.scenario = spec.name;
   cell.method = method;
   cell.sessions = spec.sessions;
+  cell.cache_dtype = dtype_name(spec.cache_dtype);
+  SessionCtx* first_admitted = nullptr;
+  for (SessionCtx& ctx : sessions) {
+    if (ctx.admitted) {
+      ++cell.sessions_admitted;
+      if (first_admitted == nullptr) first_admitted = &ctx;
+    }
+  }
 
   auto fleet_bytes = [&] {
     int64_t sum = 0;
     for (const SessionCtx& ctx : sessions)
-      sum += manager.learner(ctx.name).memory_bytes();
+      if (ctx.admitted) sum += manager.learner(ctx.name).memory_bytes();
     return sum;
   };
   auto snapshot_all = [&] {
-    for (SessionCtx& ctx : sessions)
+    for (SessionCtx& ctx : sessions) {
+      if (!ctx.admitted) continue;
       ctx.tracker.record(
           eval::per_class_accuracy(manager.learner(ctx.name).model(),
                                    *ctx.test));
+    }
   };
   cell.peak_pool_bytes = fleet_bytes();
 
@@ -261,6 +287,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
     bool any = false;
     for (int64_t k = 0; k < n; ++k) {
       for (SessionCtx& ctx : sessions) {
+        if (!ctx.admitted) continue;
         if (!ctx.head->next(seg)) continue;
         any = true;
         ctx.submitted_labels.push_back(seg.true_labels);
@@ -272,7 +299,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
     manager.drain();
     cell.peak_pool_bytes = std::max(cell.peak_pool_bytes, fleet_bytes());
     ++arrival_step;
-    if (sessions.front().base->segments_emitted() >= next_eval) {
+    if (first_admitted->base->segments_emitted() >= next_eval) {
       snapshot_all();
       next_eval += eval_every;
     }
@@ -284,13 +311,19 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
   float acc_sum = 0.0f, forget_sum = 0.0f;
   int64_t pseudo_correct = 0, pseudo_total = 0;
   for (SessionCtx& ctx : sessions) {
+    if (!ctx.admitted) continue;
     const runtime::SessionStatus st = manager.status(ctx.name);
     cell.segments_shed += st.queue.shed;
-    acc_sum += eval::accuracy(manager.learner(ctx.name).model(), *ctx.test);
+    core::OnDeviceLearner& learner = manager.learner(ctx.name);
+    cell.cache_stored_bytes += learner.cache_stored_bytes();
+    cell.cache_logical_bytes += learner.cache_logical_bytes();
+    acc_sum += eval::accuracy(learner.model(), *ctx.test);
     forget_sum += ctx.tracker.mean_forgetting();
   }
-  cell.accuracy = acc_sum / static_cast<float>(spec.sessions);
-  cell.forgetting = forget_sum / static_cast<float>(spec.sessions);
+  if (cell.sessions_admitted > 0) {
+    cell.accuracy = acc_sum / static_cast<float>(cell.sessions_admitted);
+    cell.forgetting = forget_sum / static_cast<float>(cell.sessions_admitted);
+  }
 
   // Pseudo-label accuracy needs report k to correspond to submission k; a
   // shed anywhere breaks that alignment, so the metric is only defined for
@@ -298,6 +331,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
   if (cell.segments_shed == 0 &&
       cell.segments_processed == cell.segments_submitted) {
     for (SessionCtx& ctx : sessions) {
+      if (!ctx.admitted) continue;
       const std::vector<core::SegmentReport> reports =
           manager.reports(ctx.name);
       for (size_t k = 0; k < reports.size(); ++k) {
@@ -317,6 +351,7 @@ CellResult run_cell(const ScenarioSpec& spec, const std::string& method,
 
   if (options.capture_state) {
     for (SessionCtx& ctx : sessions) {
+      if (!ctx.admitted) continue;
       core::OnDeviceLearner& learner = manager.learner(ctx.name);
       if (!learner.supports_state()) continue;
       const std::string path = spec.name + "." + method + "." + ctx.name +

@@ -33,6 +33,10 @@ std::string cell_fields(const CellResult& c, bool with_wall) {
   out += "\"scenario\": " + quoted(c.scenario);
   out += ", \"method\": " + quoted(c.method);
   out += ", \"sessions\": " + std::to_string(c.sessions);
+  out += ", \"sessions_admitted\": " + std::to_string(c.sessions_admitted);
+  out += ", \"cache_dtype\": " + quoted(c.cache_dtype);
+  out += ", \"cache_stored_bytes\": " + std::to_string(c.cache_stored_bytes);
+  out += ", \"cache_logical_bytes\": " + std::to_string(c.cache_logical_bytes);
   out += ", \"segments_submitted\": " + std::to_string(c.segments_submitted);
   out += ", \"segments_processed\": " + std::to_string(c.segments_processed);
   out += ", \"segments_shed\": " + std::to_string(c.segments_shed);
@@ -53,7 +57,7 @@ std::string CellResult::deterministic_json() const {
 std::string matrix_json(const MatrixReport& report) {
   std::string out;
   out += "{\n";
-  out += "  \"schema\": \"deco.bench_scenarios.v1\",\n";
+  out += "  \"schema\": \"deco.bench_scenarios.v2\",\n";
   out += "  \"seed\": " + std::to_string(report.seed) + ",\n";
   out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
   out += "  \"cells\": [\n";

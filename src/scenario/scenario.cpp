@@ -27,6 +27,8 @@ void ScenarioSpec::validate() const {
                    "': burst_size > queue_depth requires the shed_oldest "
                    "overflow policy");
   }
+  DECO_CHECK(pool_budget_mb >= 0,
+             "scenario '" + name + "': pool_budget_mb must be >= 0");
   for (const SessionVariant& v : variants) {
     DECO_CHECK(v.ipc >= 0 && v.model_width >= 0,
                "scenario '" + name + "': variant overrides must be >= 0");
@@ -148,6 +150,27 @@ std::vector<ScenarioSpec> builtin_scenarios() {
     s.stream = base_stream();
     s.sessions = 3;
     s.variants = {{2, 12, 12}, {4, 16, 16}, {6, 20, 20}};
+    out.push_back(std::move(s));
+  }
+  {
+    // Both memory-pressure cells offer the same oversized fleet to a 1 MiB
+    // admission budget; only the cache storage dtype differs. With ipc=16
+    // the fp32 cache dominates each session's memory_bytes(), so the int8
+    // cell admits strictly more sessions — the report's sessions_admitted
+    // and cache_stored_bytes columns quantify the trade.
+    ScenarioSpec s;
+    s.name = "mem_pressure_fp32";
+    s.description = "6 big-cache sessions vs a 1 MiB admission budget, "
+                    "fp32 cache storage";
+    s.stream = base_stream();
+    s.sessions = 6;
+    s.variants = {{16, 0, 0}};
+    s.pool_budget_mb = 1;
+    out.push_back(s);
+    s.name = "mem_pressure_int8";
+    s.description = "6 big-cache sessions vs a 1 MiB admission budget, "
+                    "int8 block-quantized cache storage";
+    s.cache_dtype = DType::kQ8;
     out.push_back(std::move(s));
   }
 

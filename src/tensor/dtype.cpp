@@ -1,0 +1,295 @@
+#include "deco/tensor/dtype.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "deco/tensor/check.h"
+
+namespace deco {
+
+namespace {
+
+/// Largest finite binary16 value. int8 block parameters (scale/zero-point)
+/// are clamped here before rounding so decode arithmetic never sees Inf.
+constexpr float kF16Max = 65504.0f;
+
+/// Bytes of per-block metadata for kQ8: f16 scale + f16 zero-point.
+constexpr int64_t kQ8HeaderBytes = 4;
+
+void put_u16(uint8_t* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+uint16_t get_u16(const uint8_t* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+
+/// One int8 block: [f16 scale | f16 zero-point | u8 code per element].
+/// Scalar reference — a strict serial loop, so the bytes are identical at
+/// any thread count. Non-finite inputs saturate deterministically: NaN maps
+/// to the zero-point (code 0), -Inf to code 0, +Inf to code 255.
+void encode_q8_block(const float* src, int64_t n, uint8_t* dst) {
+  float lo = 0.0f, hi = 0.0f;
+  bool any_finite = false;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = src[i];
+    if (!std::isfinite(v)) continue;
+    if (!any_finite) {
+      lo = hi = v;
+      any_finite = true;
+    } else {
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+  }
+  // Clamp the block range to finite f16 territory so the stored parameters
+  // (and hence every decoded value) are finite.
+  if (lo < -kF16Max) lo = -kF16Max;
+  if (lo > kF16Max) lo = kF16Max;
+  if (hi < lo) hi = lo;
+  if (hi > kF16Max) hi = kF16Max;
+  const uint16_t z16 = f32_to_f16(lo);
+  const float z = f16_to_f32(z16);
+  // Quantize against the f16-rounded parameters the decoder will see, not
+  // the exact ones, so encode -> decode is self-consistent.
+  uint16_t s16 = f32_to_f16((hi - z) / 255.0f);
+  float s = f16_to_f32(s16);
+  if (!(s > 0.0f) || !std::isfinite(s)) {
+    s16 = 0;
+    s = 0.0f;
+  }
+  put_u16(dst, s16);
+  put_u16(dst + 2, z16);
+  uint8_t* codes = dst + kQ8HeaderBytes;
+  for (int64_t i = 0; i < n; ++i) {
+    float v = src[i];
+    if (std::isnan(v)) v = z;
+    int32_t q = 0;
+    if (s > 0.0f) {
+      if (v <= z) {
+        q = 0;  // covers -Inf
+      } else if (v >= z + s * 255.0f) {
+        q = 255;  // covers +Inf
+      } else {
+        q = static_cast<int32_t>(std::floor((v - z) / s + 0.5f));
+        if (q < 0) q = 0;
+        if (q > 255) q = 255;
+      }
+    }
+    codes[i] = static_cast<uint8_t>(q);
+  }
+}
+
+void decode_q8_block(const uint8_t* src, int64_t n, float* dst) {
+  const float s = f16_to_f32(get_u16(src));
+  const float z = f16_to_f32(get_u16(src + 2));
+  const uint8_t* codes = src + kQ8HeaderBytes;
+  for (int64_t i = 0; i < n; ++i)
+    dst[i] = z + s * static_cast<float>(codes[i]);
+}
+
+}  // namespace
+
+std::string dtype_name(DType d) {
+  switch (d) {
+    case DType::kF32: return "fp32";
+    case DType::kF16: return "fp16";
+    case DType::kQ8: return "int8";
+  }
+  return "unknown";
+}
+
+DType dtype_from_name(const std::string& name) {
+  if (name == "fp32" || name == "f32" || name == "float32") return DType::kF32;
+  if (name == "fp16" || name == "f16" || name == "float16") return DType::kF16;
+  if (name == "int8" || name == "q8") return DType::kQ8;
+  DECO_CHECK(false, "unknown dtype '" + name +
+                        "' (expected fp32 | fp16 | int8)");
+  return DType::kF32;
+}
+
+bool dtype_tag_valid(uint8_t tag) {
+  return tag <= static_cast<uint8_t>(DType::kQ8);
+}
+
+uint16_t f32_to_f16(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp32 = (bits >> 23) & 0xFFu;
+  uint32_t man = bits & 0x7FFFFFu;
+  if (exp32 == 0xFFu) {  // Inf / NaN: keep the class, force a quiet NaN
+    return static_cast<uint16_t>(sign | 0x7C00u | (man != 0 ? 0x200u : 0u));
+  }
+  const int32_t e = static_cast<int32_t>(exp32) - 127 + 15;
+  if (e >= 31) return static_cast<uint16_t>(sign | 0x7C00u);  // overflow
+  if (e <= 0) {
+    // Result is an f16 subnormal (or zero). Below 2^-24 everything rounds
+    // to zero — f32 denormal inputs always land here.
+    if (e < -10) return sign;
+    man |= 0x800000u;  // restore the hidden bit
+    const uint32_t shift = static_cast<uint32_t>(14 - e);  // in [14, 24]
+    uint32_t half = man >> shift;
+    const uint32_t rem = man & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  // Normal range: truncate 13 mantissa bits with round-to-nearest-even.
+  // A rounding carry propagates into the exponent (and to Inf) correctly.
+  uint16_t h = static_cast<uint16_t>(sign | (static_cast<uint32_t>(e) << 10) |
+                                     (man >> 13));
+  const uint32_t rem = man & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return h;
+}
+
+float f16_to_f32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t man = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 31u) {
+    bits = sign | 0x7F800000u | (man << 13);  // Inf / NaN (payload kept)
+  } else if (exp == 0u) {
+    if (man == 0u) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: value = man * 2^-24. Renormalize by shifting the top set
+      // bit into the hidden position; k shifts give exponent 2^(-14-k).
+      uint32_t k = 0;
+      while ((man & 0x400u) == 0u) {
+        man <<= 1;
+        ++k;
+      }
+      man &= 0x3FFu;
+      bits = sign | ((113u - k) << 23) | (man << 13);
+    }
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (man << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+int64_t dtype_stored_bytes(DType d, int64_t numel, int64_t block) {
+  DECO_CHECK(numel >= 0, "dtype_stored_bytes: negative element count");
+  switch (d) {
+    case DType::kF32:
+      return numel * 4;
+    case DType::kF16:
+      return numel * 2;
+    case DType::kQ8: {
+      DECO_CHECK(block > 0, "dtype_stored_bytes: int8 block must be positive");
+      const int64_t blocks = (numel + block - 1) / block;
+      return blocks * kQ8HeaderBytes + numel;
+    }
+  }
+  DECO_CHECK(false, "dtype_stored_bytes: unknown dtype");
+  return 0;
+}
+
+void dtype_encode(DType d, const float* src, int64_t n, uint8_t* dst,
+                  int64_t block) {
+  switch (d) {
+    case DType::kF32:
+      std::memcpy(dst, src, static_cast<size_t>(n) * 4);
+      return;
+    case DType::kF16: {
+      for (int64_t i = 0; i < n; ++i)
+        put_u16(dst + i * 2, f32_to_f16(src[i]));
+      return;
+    }
+    case DType::kQ8: {
+      DECO_CHECK(block > 0, "dtype_encode: int8 block must be positive");
+      const int64_t bpb = kQ8HeaderBytes + block;  // bytes per full block
+      for (int64_t b = 0, off = 0; b * block < n; ++b) {
+        const int64_t len = std::min<int64_t>(block, n - b * block);
+        encode_q8_block(src + b * block, len, dst + off);
+        off += (len == block) ? bpb : kQ8HeaderBytes + len;
+      }
+      return;
+    }
+  }
+  DECO_CHECK(false, "dtype_encode: unknown dtype");
+}
+
+void dtype_decode(DType d, const uint8_t* src, int64_t n, float* dst,
+                  int64_t block) {
+  switch (d) {
+    case DType::kF32:
+      std::memcpy(dst, src, static_cast<size_t>(n) * 4);
+      return;
+    case DType::kF16: {
+      for (int64_t i = 0; i < n; ++i) dst[i] = f16_to_f32(get_u16(src + i * 2));
+      return;
+    }
+    case DType::kQ8: {
+      DECO_CHECK(block > 0, "dtype_decode: int8 block must be positive");
+      const int64_t bpb = kQ8HeaderBytes + block;
+      for (int64_t b = 0, off = 0; b * block < n; ++b) {
+        const int64_t len = std::min<int64_t>(block, n - b * block);
+        decode_q8_block(src + off, len, dst + b * block);
+        off += (len == block) ? bpb : kQ8HeaderBytes + len;
+      }
+      return;
+    }
+  }
+  DECO_CHECK(false, "dtype_decode: unknown dtype");
+}
+
+QTensor QTensor::encode(const Tensor& t, DType d, int64_t block) {
+  QTensor q;
+  q.dtype_ = d;
+  q.block_ = block;
+  q.numel_ = t.numel();
+  q.shape_.assign(t.shape().begin(), t.shape().end());
+  q.bytes_.resize(static_cast<size_t>(dtype_stored_bytes(d, q.numel_, block)));
+  dtype_encode(d, t.data(), q.numel_, q.bytes_.data(), block);
+  return q;
+}
+
+QTensor QTensor::from_bytes(DType d, int64_t block, std::vector<int64_t> shape,
+                            std::vector<uint8_t> bytes) {
+  QTensor q;
+  q.dtype_ = d;
+  q.block_ = block;
+  q.numel_ = 1;
+  for (int64_t dim : shape) {
+    DECO_CHECK(dim >= 0, "QTensor::from_bytes: negative dimension");
+    q.numel_ *= dim;
+  }
+  if (shape.empty()) q.numel_ = 0;
+  DECO_CHECK(static_cast<int64_t>(bytes.size()) ==
+                 dtype_stored_bytes(d, q.numel_, block),
+             "QTensor::from_bytes: byte count does not match geometry");
+  q.shape_ = std::move(shape);
+  q.bytes_ = std::move(bytes);
+  return q;
+}
+
+Tensor QTensor::decode() const {
+  DECO_CHECK(valid(), "QTensor::decode: empty tensor");
+  Tensor t(shape_);
+  decode_into(t.data());
+  return t;
+}
+
+void QTensor::decode_into(float* dst) const {
+  DECO_CHECK(valid(), "QTensor::decode_into: empty tensor");
+  dtype_decode(dtype_, bytes_.data(), numel_, dst, block_);
+}
+
+void QTensor::reencode(const Tensor& t) {
+  DECO_CHECK(valid(), "QTensor::reencode: empty tensor");
+  DECO_CHECK(t.numel() == numel_, "QTensor::reencode: shape mismatch");
+  dtype_encode(dtype_, t.data(), numel_, bytes_.data(), block_);
+}
+
+void StoragePolicy::validate() const {
+  DECO_CHECK(block >= 4 && block <= 1024,
+             "StoragePolicy: quant_block must be in [4, 1024], got " +
+                 std::to_string(block));
+}
+
+}  // namespace deco

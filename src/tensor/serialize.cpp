@@ -18,6 +18,7 @@ namespace {
 constexpr char kMagic[8] = {'D', 'E', 'C', 'O', 'T', 'N', 'S', 'R'};
 constexpr uint32_t kVersion = 2;
 constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kQuantVersion = 3;
 /// Total-element cap for read_tensor headers: rejects headers whose dims
 /// multiply past 2^31 elements (8 GiB of f32) before any allocation, and
 /// makes the numel product itself overflow-proof.
@@ -47,6 +48,97 @@ T read_pod(std::istream& is, uint32_t* crc = nullptr) {
   DECO_CHECK(static_cast<bool>(is), "tensor stream truncated");
   if (crc != nullptr) *crc = crc32(&v, sizeof(T), *crc);
   return v;
+}
+
+/// Parsed v1/v2/v3 record header — everything between the magic and the
+/// payload. When `crc` is non-null the header bytes are folded into it
+/// (the discipline the CRC trailer covers); skip_tensor passes null.
+struct WireHeader {
+  uint32_t version = 0;
+  DType dtype = DType::kF32;
+  int64_t block = 0;       // kQ8 block length; 0 for other dtypes
+  std::vector<int64_t> shape;
+  int64_t numel = 0;
+  int64_t payload_bytes = 0;
+  bool checked = false;    // a CRC trailer follows the payload (v2/v3)
+};
+
+WireHeader read_header(std::istream& is, const std::string& who,
+                       uint32_t* crc) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
+             who + ": bad magic (not a DECO tensor stream)");
+  WireHeader h;
+  h.version = read_pod<uint32_t>(is, crc);
+  DECO_CHECK(h.version == kVersion || h.version == kLegacyVersion ||
+                 h.version == kQuantVersion,
+             who + ": unsupported version " + std::to_string(h.version));
+  h.checked = h.version != kLegacyVersion;
+  if (h.version == kQuantVersion) {
+    const uint8_t tag = read_pod<uint8_t>(is, crc);
+    DECO_CHECK(dtype_tag_valid(tag),
+               who + ": unknown dtype tag " + std::to_string(tag));
+    h.dtype = static_cast<DType>(tag);
+    const uint8_t reserved = read_pod<uint8_t>(is, crc);
+    DECO_CHECK(reserved == 0, who + ": unsupported header flags");
+    h.block = read_pod<uint16_t>(is, crc);
+    if (h.dtype == DType::kQ8) {
+      DECO_CHECK(h.block >= 1, who + ": int8 record missing block length");
+    } else {
+      DECO_CHECK(h.block == 0, who + ": non-quantized record carries a block");
+    }
+  }
+  const uint32_t ndim = read_pod<uint32_t>(is, crc);
+  DECO_CHECK(ndim <= 8, who + ": implausible rank");
+  h.shape.resize(ndim);
+  h.numel = 1;
+  for (uint32_t d = 0; d < ndim; ++d) {
+    h.shape[d] = read_pod<int64_t>(is, crc);
+    DECO_CHECK(h.shape[d] >= 0 && h.shape[d] < (int64_t{1} << 32),
+               who + ": implausible dimension");
+    // Accumulate against the explicit element cap so the product cannot
+    // overflow across up to 8 dimensions.
+    if (h.shape[d] == 0) {
+      h.numel = 0;
+    } else {
+      DECO_CHECK(h.numel <= kMaxElements / h.shape[d],
+                 who + ": header exceeds the element cap");
+      h.numel *= h.shape[d];
+    }
+  }
+  if (ndim == 0) h.numel = 0;
+  h.payload_bytes = dtype_stored_bytes(
+      h.dtype, h.numel, h.dtype == DType::kQ8 ? h.block : 1);
+  return h;
+}
+
+/// Emits a v3 record: header + already-encoded payload + CRC trailer.
+void write_v3(std::ostream& os, DType dtype, int64_t block,
+              const std::vector<int64_t>& shape, const uint8_t* payload,
+              int64_t payload_bytes) {
+  os.write(kMagic, sizeof(kMagic));
+  uint32_t crc = 0;
+  auto emit = [&](const void* p, size_t n) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    crc = crc32(p, n, crc);
+  };
+  const uint32_t version = kQuantVersion;
+  emit(&version, sizeof(version));
+  const uint8_t tag = static_cast<uint8_t>(dtype);
+  emit(&tag, sizeof(tag));
+  const uint8_t reserved = 0;
+  emit(&reserved, sizeof(reserved));
+  DECO_CHECK(block >= 0 && block <= 65535,
+             "write_tensor: block does not fit the u16 header field");
+  const uint16_t block16 = static_cast<uint16_t>(block);
+  emit(&block16, sizeof(block16));
+  const uint32_t ndim = static_cast<uint32_t>(shape.size());
+  emit(&ndim, sizeof(ndim));
+  for (int64_t dim : shape) emit(&dim, sizeof(dim));
+  emit(payload, static_cast<size_t>(payload_bytes));
+  write_pod(os, crc);
+  DECO_CHECK(static_cast<bool>(os), "write_tensor: stream write failed");
 }
 }  // namespace
 
@@ -93,76 +185,84 @@ void write_tensor(std::ostream& os, const Tensor& t) {
   DECO_CHECK(static_cast<bool>(os), "write_tensor: stream write failed");
 }
 
+void write_tensor(std::ostream& os, const Tensor& t, DType dtype,
+                  int64_t block) {
+  if (dtype == DType::kQ8)
+    DECO_CHECK(block >= 1 && block <= 65535,
+               "write_tensor: int8 block out of range [1, 65535]");
+  const int64_t blk = dtype == DType::kQ8 ? block : 1;
+  std::vector<uint8_t> payload(
+      static_cast<size_t>(dtype_stored_bytes(dtype, t.numel(), blk)));
+  dtype_encode(dtype, t.data(), t.numel(), payload.data(), blk);
+  write_v3(os, dtype, dtype == DType::kQ8 ? block : 0, t.shape(),
+           payload.data(), static_cast<int64_t>(payload.size()));
+}
+
+void write_qtensor(std::ostream& os, const QTensor& q) {
+  DECO_CHECK(q.valid(), "write_qtensor: empty tensor");
+  write_v3(os, q.dtype(), q.dtype() == DType::kQ8 ? q.block() : 0, q.shape(),
+           q.data(), q.stored_bytes());
+}
+
 Tensor read_tensor(std::istream& is) {
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
-             "read_tensor: bad magic (not a DECO tensor stream)");
   uint32_t crc = 0;
-  const uint32_t version = read_pod<uint32_t>(is, &crc);
-  DECO_CHECK(version == kVersion || version == kLegacyVersion,
-             "read_tensor: unsupported version " + std::to_string(version));
-  const bool checked = version == kVersion;
-  const uint32_t ndim = read_pod<uint32_t>(is, &crc);
-  DECO_CHECK(ndim <= 8, "read_tensor: implausible rank");
-  std::vector<int64_t> shape(ndim);
-  int64_t numel = 1;
-  for (uint32_t d = 0; d < ndim; ++d) {
-    shape[d] = read_pod<int64_t>(is, &crc);
-    DECO_CHECK(shape[d] >= 0 && shape[d] < (int64_t{1} << 32),
-               "read_tensor: implausible dimension");
-    // Accumulate against the explicit element cap so the product cannot
-    // overflow across up to 8 dimensions.
-    if (shape[d] == 0) {
-      numel = 0;
-    } else {
-      DECO_CHECK(numel <= kMaxElements / shape[d],
-                 "read_tensor: header exceeds the element cap");
-      numel *= shape[d];
+  const WireHeader h = read_header(is, "read_tensor", &crc);
+  if (h.version != kQuantVersion) {
+    // v1/v2: raw f32 payload, read straight into the destination tensor.
+    Tensor t(h.shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(h.numel * sizeof(float)));
+    DECO_CHECK(static_cast<bool>(is), "read_tensor: data truncated");
+    if (h.checked) {
+      crc = crc32(t.data(), static_cast<size_t>(h.numel) * sizeof(float), crc);
+      const uint32_t stored = read_pod<uint32_t>(is);
+      DECO_CHECK(stored == crc, "read_tensor: CRC mismatch (corrupted data)");
     }
+    return t;
   }
-  Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(numel * sizeof(float)));
+  // v3: verify the CRC over the *encoded* payload, then dequantize.
+  std::vector<uint8_t> payload(static_cast<size_t>(h.payload_bytes));
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(h.payload_bytes));
   DECO_CHECK(static_cast<bool>(is), "read_tensor: data truncated");
-  if (checked) {
-    crc = crc32(t.data(), static_cast<size_t>(numel) * sizeof(float), crc);
-    const uint32_t stored = read_pod<uint32_t>(is);
-    DECO_CHECK(stored == crc, "read_tensor: CRC mismatch (corrupted data)");
-  }
+  crc = crc32(payload.data(), payload.size(), crc);
+  const uint32_t stored = read_pod<uint32_t>(is);
+  DECO_CHECK(stored == crc, "read_tensor: CRC mismatch (corrupted data)");
+  Tensor t(h.shape);
+  dtype_decode(h.dtype, payload.data(), h.numel, t.data(),
+               h.dtype == DType::kQ8 ? h.block : 1);
   return t;
 }
 
-TensorInfo skip_tensor(std::istream& is) {
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  DECO_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 8) == 0,
-             "skip_tensor: bad magic (not a DECO tensor stream)");
-  TensorInfo info;
-  info.version = read_pod<uint32_t>(is);
-  DECO_CHECK(info.version == kVersion || info.version == kLegacyVersion,
-             "skip_tensor: unsupported version " + std::to_string(info.version));
-  const uint32_t ndim = read_pod<uint32_t>(is);
-  DECO_CHECK(ndim <= 8, "skip_tensor: implausible rank");
-  info.shape.resize(ndim);
-  info.numel = 1;
-  for (uint32_t d = 0; d < ndim; ++d) {
-    info.shape[d] = read_pod<int64_t>(is);
-    DECO_CHECK(info.shape[d] >= 0 && info.shape[d] < (int64_t{1} << 32),
-               "skip_tensor: implausible dimension");
-    if (info.shape[d] == 0) {
-      info.numel = 0;
-    } else {
-      DECO_CHECK(info.numel <= kMaxElements / info.shape[d],
-                 "skip_tensor: header exceeds the element cap");
-      info.numel *= info.shape[d];
-    }
+QTensor read_qtensor(std::istream& is) {
+  uint32_t crc = 0;
+  const WireHeader h = read_header(is, "read_qtensor", &crc);
+  std::vector<uint8_t> payload(static_cast<size_t>(h.payload_bytes));
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(h.payload_bytes));
+  DECO_CHECK(static_cast<bool>(is), "read_qtensor: data truncated");
+  if (h.checked) {
+    crc = crc32(payload.data(), payload.size(), crc);
+    const uint32_t stored = read_pod<uint32_t>(is);
+    DECO_CHECK(stored == crc, "read_qtensor: CRC mismatch (corrupted data)");
   }
-  if (ndim == 0) info.numel = 0;
-  info.payload_bytes = info.numel * static_cast<int64_t>(sizeof(float));
+  return QTensor::from_bytes(
+      h.dtype, h.dtype == DType::kQ8 ? h.block : kDefaultQuantBlock, h.shape,
+      std::move(payload));
+}
+
+TensorInfo skip_tensor(std::istream& is) {
+  const WireHeader h = read_header(is, "skip_tensor", nullptr);
+  TensorInfo info;
+  info.version = h.version;
+  info.dtype = h.dtype;
+  info.block = h.block;
+  info.shape = h.shape;
+  info.numel = h.numel;
+  info.payload_bytes = h.payload_bytes;
   const int64_t skip =
       info.payload_bytes +
-      (info.version == kVersion ? static_cast<int64_t>(sizeof(uint32_t)) : 0);
+      (h.checked ? static_cast<int64_t>(sizeof(uint32_t)) : 0);
   // seekg past EOF succeeds on file streams (failure surfaces only at the
   // next read), so measure the remaining bytes explicitly.
   const auto cur = is.tellg();

@@ -13,7 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include "deco/core/learner.h"
 #include "deco/core/thread_pool.h"
+#include "deco/data/world.h"
 #include "deco/runtime/config.h"
 #include "deco/runtime/fleet.h"
 #include "deco/runtime/queue.h"
@@ -244,6 +246,7 @@ TEST(ConfigMap, AppliesRuntimeKeys) {
       "runtime.checkpoint_dir = /tmp/ckpts\n"
       "runtime.quarantine_after = 4\n"
       "runtime.pool_budget_mb = 64\n"
+      "runtime.checkpoint_dtype = fp16\n"
       "runtime.keep_reports = true\n");
   runtime::RuntimeConfig rc;
   m.apply(rc);
@@ -255,6 +258,7 @@ TEST(ConfigMap, AppliesRuntimeKeys) {
   EXPECT_EQ(rc.checkpoint_dir, "/tmp/ckpts");
   EXPECT_EQ(rc.quarantine_after, 4);
   EXPECT_EQ(rc.pool_budget_mb, 64);
+  EXPECT_EQ(rc.checkpoint_dtype, DType::kF16);
   EXPECT_TRUE(rc.keep_reports);
   EXPECT_EQ(rc.pool_budget_bytes(), int64_t{64} << 20);
   rc.validate();
@@ -301,6 +305,8 @@ class StubLearner : public core::OnDeviceLearner {
   std::string name() const override { return "stub"; }
   double condense_seconds() const override { return 0.0; }
   int64_t memory_bytes() const override { return mem_bytes_; }
+  void set_checkpoint_dtype(DType dtype) override { checkpoint_dtype_ = dtype; }
+  DType checkpoint_dtype() const { return checkpoint_dtype_; }
 
   bool supports_state() const override { return state_path_enabled_; }
   void save_state(const std::string& path) const override {
@@ -319,6 +325,7 @@ class StubLearner : public core::OnDeviceLearner {
   int64_t fail_from_;
   bool fail_by_throw_;
   int64_t mem_bytes_;
+  DType checkpoint_dtype_ = DType::kF32;
   bool state_path_enabled_ = false;
   int64_t segments_ = 0;
   std::vector<float> seen_;
@@ -456,6 +463,81 @@ TEST(SessionManager, AdmissionControlEnforcesMemoryBudget) {
   }
   EXPECT_EQ(mgr.session_count(), 1);
   EXPECT_THROW(mgr.submit("toobig", tagged(0)), Error);
+}
+
+TEST(SessionManager, AdmissionUsesStoredCacheBytes) {
+  // Two DECO learners with identical logical caches: int8 storage must make
+  // the *stored* figure — the one memory_bytes() reports and admission
+  // charges — small enough that a budget rejecting a second fp32 session
+  // still admits two quantized ones.
+  data::ProceduralImageWorld world(data::icub1_spec(), 60);
+  data::Dataset labeled = world.make_labeled_set(2, 1);
+  nn::ConvNetConfig mc;
+  mc.in_channels = world.spec().channels;
+  mc.image_h = world.spec().height;
+  mc.image_w = world.spec().width;
+  mc.num_classes = world.spec().num_classes;
+  mc.width = 8;
+  mc.depth = 2;
+
+  core::DecoConfig base;
+  base.ipc = 18;
+  base.beta = 2;
+  base.model_update_epochs = 1;
+  base.condenser.iterations = 1;
+  auto make_learner = [&](std::shared_ptr<nn::ConvNet>& model, DType dtype) {
+    Rng rng(1);
+    model = std::make_shared<nn::ConvNet>(mc, rng);
+    core::DecoConfig cfg = base;
+    cfg.storage.cache_dtype = dtype;
+    auto learner = std::make_unique<core::DecoLearner>(*model, cfg, 1);
+    learner->init_buffer_from(labeled);
+    return learner;
+  };
+
+  std::shared_ptr<nn::ConvNet> mf32, mq8;
+  auto probe_f32 = make_learner(mf32, DType::kF32);
+  auto probe_q8 = make_learner(mq8, DType::kQ8);
+  const int64_t f32_bytes = probe_f32->memory_bytes();
+  const int64_t q8_bytes = probe_q8->memory_bytes();
+  ASSERT_LT(q8_bytes, f32_bytes);
+  // One fp32 session fits in 1 MiB, two do not; two int8 sessions fit.
+  ASSERT_LT(f32_bytes, int64_t{1} << 20);
+  ASSERT_GT(2 * f32_bytes, int64_t{1} << 20);
+  ASSERT_LT(2 * q8_bytes, int64_t{1} << 20);
+
+  runtime::RuntimeConfig rc;
+  rc.pool_budget_mb = 1;
+  {
+    runtime::SessionManager mgr(rc);
+    mgr.add_session("f32_a", std::move(probe_f32), mf32);
+    std::shared_ptr<nn::ConvNet> m2;
+    auto second = make_learner(m2, DType::kF32);
+    EXPECT_THROW(mgr.add_session("f32_b", std::move(second), m2), Error);
+    EXPECT_EQ(mgr.session_count(), 1);
+  }
+  {
+    runtime::SessionManager mgr(rc);
+    mgr.add_session("q8_a", std::move(probe_q8), mq8);
+    std::shared_ptr<nn::ConvNet> m2;
+    auto second = make_learner(m2, DType::kQ8);
+    mgr.add_session("q8_b", std::move(second), m2);  // must not throw
+    EXPECT_EQ(mgr.session_count(), 2);
+  }
+}
+
+TEST(SessionManager, AppliesCheckpointDtypePolicyToLearners) {
+  runtime::RuntimeConfig rc;
+  rc.checkpoint_dtype = DType::kF16;
+  runtime::SessionManager mgr(rc);
+  Rng rng(1);
+  auto model = std::make_shared<nn::ConvNet>(tiny_net_config(), rng);
+  auto stub = std::make_unique<StubLearner>(*model);
+  StubLearner* raw = stub.get();
+  EXPECT_EQ(raw->checkpoint_dtype(), DType::kF32);
+  mgr.add_session("policy", std::move(stub), model);
+  EXPECT_EQ(raw->checkpoint_dtype(), DType::kF16)
+      << "add_session must push the runtime checkpoint dtype policy";
 }
 
 TEST(SessionManager, PeriodicCheckpointsForStatefulLearners) {

@@ -70,6 +70,38 @@ TEST(ScenarioMatrixDeterminism, DecoCellIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ScenarioMatrixDeterminism, QuantizedCellIsByteIdenticalAcrossThreadCounts) {
+  // The int8 cache path (encode at every commit, decode for training) must be
+  // as thread-invariant as fp32: the codecs are serial scalar loops, so the
+  // whole mem_pressure_int8 cell — report row AND save_state bytes, which
+  // embed the canonical stored cache — is memcmp-identical at 1/2/4/8 threads.
+  scenario::HarnessOptions options = small_options();
+  options.capture_state = true;
+
+  const scenario::ScenarioSpec spec =
+      scenario::scenario_by_name("mem_pressure_int8");
+
+  const int saved = core::num_threads();
+  std::vector<scenario::CellResult> runs;
+  for (int threads : {1, 2, 4, 8}) {
+    core::set_num_threads(threads);
+    runs.push_back(scenario::run_cell(spec, "deco", options));
+  }
+  core::set_num_threads(saved);
+
+  EXPECT_EQ(runs[0].cache_dtype, "int8");
+  ASSERT_GT(runs[0].state_blobs.size(), 0u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].deterministic_json(), runs[i].deterministic_json())
+        << "quantized cell report diverged at run " << i;
+    ASSERT_EQ(runs[0].state_blobs.size(), runs[i].state_blobs.size());
+    for (size_t s = 0; s < runs[0].state_blobs.size(); ++s)
+      EXPECT_TRUE(runs[0].state_blobs[s] == runs[i].state_blobs[s])
+          << "session " << s << " quantized save_state bytes diverged at run "
+          << i;
+  }
+}
+
 TEST(ScenarioMatrixDeterminism, BurstyShedCellIsThreadCountInvariant) {
   // Shedding is the easiest place to lose determinism (it depends on queue
   // timing in a pump-thread design); the harness's manual arrival schedule

@@ -295,7 +295,8 @@ TEST(ScenarioCatalog, BuiltinsValidateAndLookUpByName) {
   EXPECT_EQ(listed.size(), all.size());
   for (const char* n :
        {"clean", "class_incremental", "drift_abrupt", "drift_gradual",
-        "label_noise", "faulty_sensors", "bursty_shed", "hetero_fleet"})
+        "label_noise", "faulty_sensors", "bursty_shed", "hetero_fleet",
+        "mem_pressure_fp32", "mem_pressure_int8"})
     EXPECT_EQ(names.count(n), 1u) << n;
 
   const scenario::ScenarioSpec bursty = scenario::scenario_by_name("bursty_shed");
@@ -348,6 +349,11 @@ TEST(ScenarioHarness, CleanCellRunsLossFree) {
   EXPECT_EQ(cell.scenario, "clean");
   EXPECT_EQ(cell.method, "fifo");
   EXPECT_EQ(cell.sessions, 1);
+  EXPECT_EQ(cell.sessions_admitted, 1) << "no budget: everything admits";
+  EXPECT_EQ(cell.cache_dtype, "fp32");
+  EXPECT_GT(cell.cache_logical_bytes, 0);
+  EXPECT_EQ(cell.cache_stored_bytes, cell.cache_logical_bytes)
+      << "fp32 storage is the identity codec";
   EXPECT_EQ(cell.segments_submitted, 3);
   EXPECT_EQ(cell.segments_processed, 3);
   EXPECT_EQ(cell.segments_shed, 0);
@@ -388,11 +394,69 @@ TEST(ScenarioHarness, RejectsUnknownMethodAndBadOptions) {
                Error);
 }
 
+// The memory-pressure pair is the ROADMAP's "sessions per budget" cell: the
+// same oversized fleet offered to the same 1 MiB admission budget, with only
+// the cache storage dtype differing. Condensation methods allocate their
+// full synthetic buffer up front, so admission sees the real cache cost and
+// the int8 cell must fit strictly more sessions.
+TEST(ScenarioHarness, MemoryPressureInt8AdmitsMoreSessions) {
+  scenario::HarnessOptions options = tiny_options();
+  options.segments = 2;
+  const scenario::CellResult f32 = scenario::run_cell(
+      scenario::scenario_by_name("mem_pressure_fp32"), "deco", options);
+  const scenario::CellResult q8 = scenario::run_cell(
+      scenario::scenario_by_name("mem_pressure_int8"), "deco", options);
+
+  EXPECT_EQ(f32.sessions, 6);
+  EXPECT_EQ(f32.cache_dtype, "fp32");
+  EXPECT_EQ(q8.cache_dtype, "int8");
+  EXPECT_GT(f32.sessions_admitted, 0);
+  EXPECT_LT(f32.sessions_admitted, 6)
+      << "the fp32 fleet must overflow the 1 MiB budget";
+  EXPECT_GT(q8.sessions_admitted, f32.sessions_admitted)
+      << "quantized caches must fit more sessions under the same budget";
+
+  // The int8 cache must hit the >= 3.5x compression target (36 stored bytes
+  // per 32-float block vs 128).
+  ASSERT_GT(q8.cache_stored_bytes, 0);
+  const double ratio = static_cast<double>(q8.cache_logical_bytes) /
+                       static_cast<double>(q8.cache_stored_bytes);
+  EXPECT_GE(ratio, 3.5);
+
+  // Rejected sessions submit nothing; admitted ones still account for every
+  // segment.
+  EXPECT_EQ(f32.segments_submitted, 2 * f32.sessions_admitted);
+  EXPECT_EQ(f32.segments_processed, f32.segments_submitted);
+  EXPECT_EQ(q8.segments_processed, q8.segments_submitted);
+  EXPECT_TRUE(std::isfinite(f32.accuracy));
+  EXPECT_TRUE(std::isfinite(q8.accuracy));
+}
+
+// Single-session smoke gate on what quantization costs: the same clean cell
+// with an int8 cache must stay within a coarse accuracy band of fp32. The
+// tiny protocol is noisy, so this catches catastrophic breakage (a zeroed or
+// misdecoded buffer), not regressions of a point or two.
+TEST(ScenarioHarness, Int8CacheAccuracyWithinGateOfFp32) {
+  scenario::ScenarioSpec spec = scenario::scenario_by_name("clean");
+  const scenario::CellResult f32 =
+      scenario::run_cell(spec, "deco", tiny_options());
+  spec.cache_dtype = DType::kQ8;
+  const scenario::CellResult q8 =
+      scenario::run_cell(spec, "deco", tiny_options());
+  EXPECT_EQ(q8.cache_dtype, "int8");
+  EXPECT_LT(q8.cache_stored_bytes, f32.cache_stored_bytes);
+  EXPECT_EQ(q8.cache_logical_bytes, f32.cache_logical_bytes);
+  EXPECT_NEAR(q8.accuracy, f32.accuracy, 25.0f)
+      << "int8 cache accuracy fell out of the smoke gate";
+}
+
 // ---- BENCH_scenarios.json schema (golden fixture round-trip) ----------------
 
 const std::set<std::string> kTopKeys = {"schema", "seed", "threads", "cells"};
 const std::set<std::string> kCellKeys = {
     "scenario",        "method",         "sessions",
+    "sessions_admitted", "cache_dtype",  "cache_stored_bytes",
+    "cache_logical_bytes",
     "segments_submitted", "segments_processed", "segments_shed",
     "accuracy",        "forgetting",     "pseudo_label_accuracy",
     "peak_pool_bytes", "wall_seconds"};
@@ -413,7 +477,7 @@ std::string report_schema_error(const std::string& text) {
   const JsonObject& top = doc.object();
   if (keys_of(top) != kTopKeys) return "top-level key set mismatch";
   if (!std::holds_alternative<std::string>(top.at("schema").v) ||
-      std::get<std::string>(top.at("schema").v) != "deco.bench_scenarios.v1")
+      std::get<std::string>(top.at("schema").v) != "deco.bench_scenarios.v2")
     return "bad schema tag";
   if (!std::holds_alternative<int64_t>(top.at("seed").v)) return "bad seed";
   if (!std::holds_alternative<int64_t>(top.at("threads").v))
@@ -425,10 +489,12 @@ std::string report_schema_error(const std::string& text) {
     if (!cell.is_object()) return "cell is not an object";
     const JsonObject& c = cell.object();
     if (keys_of(c) != kCellKeys) return "cell key set mismatch";
-    for (const char* k : {"scenario", "method"})
+    for (const char* k : {"scenario", "method", "cache_dtype"})
       if (!std::holds_alternative<std::string>(c.at(k).v))
         return std::string("cell field not a string: ") + k;
-    for (const char* k : {"sessions", "segments_submitted",
+    for (const char* k : {"sessions", "sessions_admitted",
+                          "cache_stored_bytes", "cache_logical_bytes",
+                          "segments_submitted",
                           "segments_processed", "segments_shed",
                           "peak_pool_bytes"})
       if (!std::holds_alternative<int64_t>(c.at(k).v))
@@ -445,12 +511,12 @@ std::string report_schema_error(const std::string& text) {
 // the emitter's schema drifts, BOTH this fixture check and the generated-
 // report check below fail, pointing at the contract rather than the code.
 const char kGoldenReport[] = R"({
-  "schema": "deco.bench_scenarios.v1",
+  "schema": "deco.bench_scenarios.v2",
   "seed": 1,
   "threads": 4,
   "cells": [
-    {"scenario": "clean", "method": "deco", "sessions": 1, "segments_submitted": 8, "segments_processed": 8, "segments_shed": 0, "accuracy": 35.250000, "forgetting": 1.500000, "pseudo_label_accuracy": 0.625000, "peak_pool_bytes": 144488, "wall_seconds": 2.125000},
-    {"scenario": "bursty_shed", "method": "fifo", "sessions": 1, "segments_submitted": 14, "segments_processed": 10, "segments_shed": 4, "accuracy": 20.000000, "forgetting": 2.750000, "pseudo_label_accuracy": -1.000000, "peak_pool_bytes": 144488, "wall_seconds": 1.875000}
+    {"scenario": "clean", "method": "deco", "sessions": 1, "sessions_admitted": 1, "cache_dtype": "fp32", "cache_stored_bytes": 122880, "cache_logical_bytes": 122880, "segments_submitted": 8, "segments_processed": 8, "segments_shed": 0, "accuracy": 35.250000, "forgetting": 1.500000, "pseudo_label_accuracy": 0.625000, "peak_pool_bytes": 144488, "wall_seconds": 2.125000},
+    {"scenario": "mem_pressure_int8", "method": "fifo", "sessions": 6, "sessions_admitted": 6, "cache_dtype": "int8", "cache_stored_bytes": 829440, "cache_logical_bytes": 2949120, "segments_submitted": 14, "segments_processed": 10, "segments_shed": 4, "accuracy": 20.000000, "forgetting": 2.750000, "pseudo_label_accuracy": -1.000000, "peak_pool_bytes": 144488, "wall_seconds": 1.875000}
   ]
 })";
 

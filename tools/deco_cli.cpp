@@ -311,7 +311,10 @@ void print_serve_help() {
       "runtime.queue_depth | runtime.overflow (block|shed_oldest) |\n"
       "runtime.quantum | runtime.max_deficit | runtime.checkpoint_every |\n"
       "runtime.checkpoint_dir | runtime.quarantine_after |\n"
-      "runtime.pool_budget_mb | runtime.keep_reports\n");
+      "runtime.pool_budget_mb | runtime.keep_reports |\n"
+      "runtime.checkpoint_dtype (fp32|fp16|int8)\n"
+      "storage keys: deco.cache_dtype (fp32|fp16|int8, condensed cache\n"
+      "stored quantized) | deco.checkpoint_dtype | deco.quant_block\n");
 }
 
 int cmd_serve(int argc, char** argv, int first) {
@@ -417,6 +420,25 @@ T read_inspect_pod(std::istream& is) {
   return v;
 }
 
+// Suffix describing a v3 record's storage: dtype, quant block and the
+// compression ratio vs f32. Empty for v1/v2 records so legacy files print
+// exactly as they always did.
+std::string dtype_suffix(const TensorInfo& info) {
+  if (info.version < 3) return "";
+  std::string s = ", dtype ";
+  s += dtype_name(info.dtype);
+  if (info.dtype == DType::kQ8)
+    s += ", block " + std::to_string(info.block);
+  if (info.payload_bytes > 0 && info.numel > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ", %.2fx vs f32",
+                  static_cast<double>(info.numel) * 4.0 /
+                      static_cast<double>(info.payload_bytes));
+    s += buf;
+  }
+  return s;
+}
+
 void inspect_checkpoint(std::istream& is) {
   // DECOCKPT: magic | u32 count | count × (string name, tensor).
   const uint32_t count = read_inspect_pod<uint32_t>(is);
@@ -426,9 +448,10 @@ void inspect_checkpoint(std::istream& is) {
     const std::string name = read_inspect_string(is);
     const TensorInfo info = skip_tensor(is);
     total += info.numel;
-    std::printf("    %-28s %-20s %10lld floats (v%u)\n", name.c_str(),
+    std::printf("    %-28s %-20s %10lld floats (v%u%s)\n", name.c_str(),
                 shape_str(info.shape).c_str(),
-                static_cast<long long>(info.numel), info.version);
+                static_cast<long long>(info.numel), info.version,
+                dtype_suffix(info).c_str());
   }
   std::printf("  total: %lld parameters (%.2f MiB as f32)\n",
               static_cast<long long>(total),
@@ -457,12 +480,14 @@ void inspect_learner_state(std::istream& is, int64_t file_bytes) {
     const std::string name = read_inspect_string(is);
     const TensorInfo info = skip_tensor(is);
     total += info.numel;
-    std::printf("    %-28s %-20s %10lld floats\n", name.c_str(),
+    std::printf("    %-28s %-20s %10lld floats%s\n", name.c_str(),
                 shape_str(info.shape).c_str(),
-                static_cast<long long>(info.numel));
+                static_cast<long long>(info.numel),
+                dtype_suffix(info).c_str());
   }
   const TensorInfo buffer = skip_tensor(is);
-  std::printf("  synthetic buffer: %s\n", shape_str(buffer.shape).c_str());
+  std::printf("  synthetic buffer: %s%s\n", shape_str(buffer.shape).c_str(),
+              dtype_suffix(buffer).c_str());
   const uint8_t soft = read_inspect_pod<uint8_t>(is);
   if (soft != 0) {
     const TensorInfo logits = skip_tensor(is);
@@ -516,10 +541,11 @@ int cmd_inspect(int argc, char** argv, int first) {
       is.seekg(0);  // skip_tensor reads the magic itself
       const TensorInfo info = skip_tensor(is);
       std::printf("  tensor (DECOTNSR v%u): %s, %lld floats, %lld payload "
-                  "bytes%s\n",
+                  "bytes%s%s\n",
                   info.version, shape_str(info.shape).c_str(),
                   static_cast<long long>(info.numel),
                   static_cast<long long>(info.payload_bytes),
+                  dtype_suffix(info).c_str(),
                   info.version >= 2 ? ", CRC32 trailer" : "");
     } else {
       DECO_CHECK(false, "inspect: " + path +
